@@ -1,0 +1,178 @@
+// Command experiments regenerates the tables and figures of Shestak et al.
+// (IPPS 2005): Figures 2-5, the Section 8 timing comparison, Table 1, and the
+// extension/ablation studies of DESIGN.md (robustness sweep, bias sweep,
+// seeding study, population sweep, worth-mix sensitivity).
+//
+// Examples:
+//
+//	experiments -exp fig3 -runs 10 -psg-iters 1000
+//	experiments -exp all -runs 5 -psg-iters 500 -psg-trials 1
+//	experiments -exp robustness -runs 10
+//	experiments -exp table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/heuristics"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|timing|robustness|bias|seeding|population|worthmix|ssg|termination|heterogeneity|relaxation|worthscheme|dynamic|phasing|pooling|table1|all")
+		runs      = flag.Int("runs", 10, "simulation runs per experiment (paper: 100)")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+		strings_  = flag.Int("strings", 0, "override string count (0 = paper value)")
+		psgIters  = flag.Int("psg-iters", 1000, "GENITOR iteration budget (paper: 5000)")
+		psgPop    = flag.Int("psg-pop", 250, "GENITOR population size (paper: 250)")
+		psgStall  = flag.Int("psg-stall", 300, "GENITOR elite-stall limit (paper: 300)")
+		psgTrials = flag.Int("psg-trials", 2, "independent GENITOR trials, best-of (paper: 4)")
+		psgBias   = flag.Float64("psg-bias", 1.6, "GENITOR selection bias (paper: 1.6)")
+		skipUB    = flag.Bool("skip-ub", false, "skip the LP upper-bound series")
+		highHeavy = flag.Bool("high-heavy", false, "use the high-worth-heavy mix {0.1,0.2,0.7} instead of uniform")
+		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
+	)
+	flag.Parse()
+	run(*exp, *runs, *seed, *strings_, *psgIters, *psgPop, *psgStall, *psgTrials, *psgBias, *skipUB, *highHeavy, *verbose)
+}
+
+func run(exp string, runs int, seed int64, stringsOverride, psgIters, psgPop, psgStall, psgTrials int, psgBias float64, skipUB, highHeavy, verbose bool) {
+	psg := heuristics.DefaultPSGConfig()
+	psg.MaxIterations = psgIters
+	psg.PopulationSize = psgPop
+	psg.StallLimit = psgStall
+	psg.Trials = psgTrials
+	psg.Bias = psgBias
+	opts := experiments.Options{
+		Runs:    runs,
+		Seed:    seed,
+		Strings: stringsOverride,
+		SkipUB:  skipUB,
+		PSG:     psg,
+	}
+	if highHeavy {
+		opts.WorthWeights = []float64{0.1, 0.2, 0.7}
+	}
+	if verbose {
+		opts.Progress = os.Stderr
+	}
+	w := os.Stdout
+
+	all := exp == "all"
+	did := false
+	start := time.Now()
+	if all || exp == "table1" {
+		writeTable1(w)
+		did = true
+	}
+	if all || exp == "fig2" {
+		cases, err := experiments.Figure2()
+		fatal(err)
+		experiments.WriteFigure2(w, cases)
+		fmt.Fprintln(w)
+		did = true
+	}
+	type figFn struct {
+		name string
+		fn   func(experiments.Options) (*experiments.Figure, error)
+	}
+	for _, f := range []figFn{
+		{"fig3", experiments.Figure3},
+		{"fig4", experiments.Figure4},
+		{"fig5", experiments.Figure5},
+		{"timing", experiments.Timing},
+		{"seeding", experiments.SeedingStudy},
+		{"worthmix", experiments.WorthMixStudy},
+		{"ssg", experiments.SSGStudy},
+		{"worthscheme", experiments.WorthSchemeStudy},
+		{"termination", experiments.TerminationStudy},
+		{"heterogeneity", experiments.HeterogeneityStudy},
+	} {
+		if all || exp == f.name {
+			fig, err := f.fn(opts)
+			fatal(err)
+			fig.WriteTable(w)
+			fmt.Fprintln(w)
+			did = true
+		}
+	}
+	if all || exp == "bias" {
+		fig, err := experiments.BiasSweep(opts, nil)
+		fatal(err)
+		fig.WriteTable(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if all || exp == "population" {
+		fig, err := experiments.PopulationSweep(opts, nil)
+		fatal(err)
+		fig.WriteTable(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if all || exp == "relaxation" {
+		res, err := experiments.AuditRelaxation(opts)
+		fatal(err)
+		res.WriteTable(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if all || exp == "phasing" {
+		res, err := experiments.RunPhasingStudy(opts)
+		fatal(err)
+		res.WriteTable(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if all || exp == "pooling" {
+		res, err := experiments.RunPoolingStudy(opts, nil)
+		fatal(err)
+		res.WriteTable(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if all || exp == "dynamic" {
+		res, err := experiments.RunDynamicStudy(opts, nil)
+		fatal(err)
+		res.WriteTable(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if all || exp == "robustness" {
+		res, err := experiments.Robustness(opts, "SeededPSG", nil)
+		fatal(err)
+		res.WriteTable(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if !did {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Fprintf(w, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func writeTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: range specifications for the random variable µ")
+	fmt.Fprintf(w, "%-28s  %-16s  %-16s  %8s\n", "scenario", "µ for Lmax[k]", "µ for P[k]", "strings")
+	for _, s := range []workload.Scenario{workload.HighlyLoaded, workload.QoSLimited, workload.LightlyLoaded} {
+		cfg := workload.ScenarioConfig(s)
+		fmt.Fprintf(w, "%-28v  [%.2f, %.2f]      [%.2f, %.2f]      %8d\n",
+			s, cfg.MuLatency.Min, cfg.MuLatency.Max, cfg.MuPeriod.Min, cfg.MuPeriod.Max, cfg.Strings)
+	}
+	fmt.Fprintln(w)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Command lpbound computes the Section 7 linear-programming upper bound for
+// a TSCE scenario: the fractional-mapping optimum that dominates every
+// integral allocation, in either the paper's full formulation (x and y
+// variables, constraints (a)-(g)) or the relaxed route-free formulation that
+// remains tractable at the paper's full scale.
+//
+// Examples:
+//
+//	lpbound -scenario 1 -seed 1                        # worth UB, relaxed
+//	lpbound -scenario 3 -objective slackness           # slackness UB
+//	lpbound -scenario 3 -form full -objective slackness
+//	lpbound -in system.json -objective worth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/model"
+	"repro/internal/simplex"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		scenario  = flag.Int("scenario", 1, "paper scenario to generate: 1, 2 or 3")
+		seed      = flag.Int64("seed", 1, "workload RNG seed")
+		strings_  = flag.Int("strings", 0, "override string count (0 = paper value)")
+		inFile    = flag.String("in", "", "load the system from a JSON file instead of generating")
+		objective = flag.String("objective", "", "worth | slackness (default: worth for scenarios 1-2, slackness for 3)")
+		form      = flag.String("form", "relaxed", "full | relaxed")
+		literal   = flag.Bool("literal-objective", false, "use the paper's printed per-application worth objective")
+		maxVars   = flag.Int("max-vars", 0, "variable-count guard (0 = default 400000)")
+		fractions = flag.Bool("fractions", false, "print per-string mapped fractions")
+		shadow    = flag.Bool("shadow", false, "print per-machine capacity shadow prices (bottleneck report)")
+	)
+	flag.Parse()
+
+	var sys *model.System
+	var err error
+	if *inFile != "" {
+		sys, err = model.LoadFile(*inFile)
+	} else {
+		cfg := workload.ScenarioConfig(workload.Scenario(*scenario))
+		if *strings_ > 0 {
+			cfg.Strings = *strings_
+		}
+		sys, err = workload.Generate(cfg, *seed)
+	}
+	fatal(err)
+
+	obj := lp.MaximizeWorth
+	if *objective == "slackness" || (*objective == "" && *scenario == 3 && *inFile == "") {
+		obj = lp.MaximizeSlackness
+	}
+	formulation := lp.Relaxed
+	if *form == "full" {
+		formulation = lp.Full
+	}
+
+	start := time.Now()
+	b, err := lp.UpperBound(sys, lp.Config{
+		Formulation:      formulation,
+		Objective:        obj,
+		LiteralObjective: *literal,
+		MaxVariables:     *maxVars,
+	})
+	fatal(err)
+	elapsed := time.Since(start)
+
+	fmt.Printf("system: %d machines, %d strings, %d applications, total worth %.0f\n",
+		sys.Machines, len(sys.Strings), sys.NumApps(), sys.TotalWorth())
+	fmt.Printf("LP: %v formulation, %v objective, %d variables, %d constraints\n",
+		formulation, obj, b.Variables, b.Constraints)
+	fmt.Printf("status: %v (%d simplex iterations, %v)\n", b.Status, b.Iterations, elapsed.Round(time.Millisecond))
+	if b.Status != simplex.Optimal {
+		os.Exit(1)
+	}
+	switch obj {
+	case lp.MaximizeWorth:
+		fmt.Printf("upper bound on total worth: %.4f\n", b.Objective)
+	case lp.MaximizeSlackness:
+		fmt.Printf("upper bound on system slackness: %.6f\n", b.Objective)
+	}
+	if *fractions {
+		fmt.Println("per-string mapped fractions:")
+		for k, f := range b.StringFraction {
+			fmt.Printf("  S%-4d worth %3.0f  fraction %.4f\n", k, sys.Strings[k].Worth, f)
+		}
+	}
+	if *shadow {
+		if b.MachineShadowPrice == nil {
+			fmt.Println("no shadow prices available (interior-point solver does not produce duals)")
+		} else {
+			fmt.Println("machine capacity shadow prices (objective gain per unit capacity):")
+			for j, sp := range b.MachineShadowPrice {
+				fmt.Printf("  machine %-3d %.4f\n", j, sp)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpbound:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,134 @@
+// Command shipsched runs a resource-allocation heuristic on a TSCE scenario
+// and reports the resulting mapping, the two-component performance metric
+// (total worth, system slackness), per-resource utilizations, and — with
+// -simulate — a discrete-event replay that validates the allocation's QoS
+// behaviour at the planned workload.
+//
+// Scenarios come from the paper's generator (-scenario 1|2|3 with -seed) or
+// from a JSON system description (-in). Use -save to write a generated
+// scenario to disk for later reuse.
+//
+// Examples:
+//
+//	shipsched -scenario 2 -seed 7 -heuristic SeededPSG -psg-iters 500
+//	shipsched -scenario 3 -heuristic MWF -simulate -scale 1.5
+//	shipsched -in system.json -heuristic TF -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/feasibility"
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		scenario  = flag.Int("scenario", 1, "paper scenario to generate: 1 (highly loaded), 2 (QoS-limited), 3 (lightly loaded)")
+		seed      = flag.Int64("seed", 1, "workload RNG seed")
+		strings_  = flag.Int("strings", 0, "override string count (0 = paper value)")
+		inFile    = flag.String("in", "", "load the system from a JSON file instead of generating")
+		saveFile  = flag.String("save", "", "save the (generated) system to a JSON file")
+		heuristic = flag.String("heuristic", "SeededPSG", "heuristic: MWF | TF | PSG | SeededPSG | SSG | ClassedPSG")
+		psgIters  = flag.Int("psg-iters", 1000, "GENITOR iteration budget (paper: 5000)")
+		psgTrials = flag.Int("psg-trials", 2, "GENITOR trials, best-of (paper: 4)")
+		simulate  = flag.Bool("simulate", false, "replay the allocation in the discrete-event simulator")
+		scale     = flag.Float64("scale", 1.0, "workload scale for -simulate (1 = planned workload)")
+		periods   = flag.Int("periods", 10, "data sets per string for -simulate")
+		dump      = flag.Bool("dump", false, "print the full application-to-machine mapping")
+	)
+	flag.Parse()
+
+	sys, err := loadSystem(*inFile, *scenario, *seed, *strings_)
+	fatal(err)
+	if *saveFile != "" {
+		fatal(sys.SaveFile(*saveFile))
+		fmt.Printf("saved system to %s\n", *saveFile)
+	}
+
+	cfg := heuristics.DefaultPSGConfig()
+	cfg.MaxIterations = *psgIters
+	cfg.Trials = *psgTrials
+	cfg.Seed = *seed
+
+	start := time.Now()
+	r := heuristics.Run(*heuristic, sys, cfg)
+	elapsed := time.Since(start)
+
+	fmt.Printf("system: %d machines, %d strings, %d applications, total worth %.0f\n",
+		sys.Machines, len(sys.Strings), sys.NumApps(), sys.TotalWorth())
+	fmt.Printf("%s: mapped %d/%d strings in %v\n", r.Name, r.NumMapped, len(sys.Strings), elapsed.Round(time.Millisecond))
+	fmt.Printf("total worth: %.0f   system slackness: %.4f\n", r.Metric.Worth, r.Metric.Slackness)
+	if r.Iterations > 0 {
+		fmt.Printf("GENITOR: %d iterations, %d evaluations, stopped by %s\n", r.Iterations, r.Evaluations, r.StopReason)
+	}
+	if !r.Alloc.TwoStageFeasible() {
+		fmt.Println("WARNING: final mapping fails the two-stage analysis (bug)")
+		os.Exit(1)
+	}
+	printUtilization(r.Alloc)
+	if *dump {
+		fmt.Println()
+		report.Write(os.Stdout, r.Alloc)
+	}
+	if *simulate {
+		res, err := sim.Run(r.Alloc, sim.Config{Periods: *periods, WorkloadScale: *scale})
+		fatal(err)
+		fmt.Printf("\nsimulation: scale %.2f, %d data sets per string, %d events, %.1f s simulated\n",
+			*scale, *periods, res.Events, res.Duration)
+		fmt.Printf("QoS violations: %d\n", res.QoSViolations)
+		worst := 0.0
+		for k := range res.Strings {
+			if res.Strings[k].MaxLatency > worst {
+				worst = res.Strings[k].MaxLatency
+			}
+		}
+		fmt.Printf("worst end-to-end latency: %.3f s\n", worst)
+	}
+}
+
+func loadSystem(inFile string, scenario int, seed int64, stringsOverride int) (*model.System, error) {
+	if inFile != "" {
+		return model.LoadFile(inFile)
+	}
+	cfg := workload.ScenarioConfig(workload.Scenario(scenario))
+	if stringsOverride > 0 {
+		cfg.Strings = stringsOverride
+	}
+	return workload.Generate(cfg, seed)
+}
+
+func printUtilization(a *feasibility.Allocation) {
+	sys := a.System()
+	fmt.Print("machine utilization:")
+	for j := 0; j < sys.Machines; j++ {
+		fmt.Printf(" %.2f", a.MachineUtilization(j))
+	}
+	fmt.Println()
+	busiest, bu := -1, -1.0
+	var bj1, bj2 int
+	for j1 := 0; j1 < sys.Machines; j1++ {
+		for j2 := 0; j2 < sys.Machines; j2++ {
+			if j1 != j2 && a.RouteUtilization(j1, j2) > bu {
+				busiest, bu, bj1, bj2 = j1, a.RouteUtilization(j1, j2), j1, j2
+			}
+		}
+	}
+	if busiest >= 0 {
+		fmt.Printf("busiest route: %d -> %d at %.2f\n", bj1, bj2, bu)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shipsched:", err)
+		os.Exit(1)
+	}
+}

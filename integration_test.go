@@ -1,0 +1,138 @@
+// Integration tests crossing every module boundary: workload generation ->
+// heuristics -> feasibility audit -> LP upper bound -> discrete-event replay.
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/lp"
+	"repro/internal/sim"
+	"repro/internal/simplex"
+	"repro/internal/workload"
+)
+
+// TestPipelineEndToEnd runs the full reproduction pipeline on reduced
+// instances of all three scenarios and checks the cross-module invariants:
+// every heuristic emits a two-stage-feasible mapping whose worth the LP bound
+// dominates, and replaying a feasible mapping at the planned workload in the
+// discrete-event simulator yields no QoS violations.
+func TestPipelineEndToEnd(t *testing.T) {
+	psg := heuristics.DefaultPSGConfig()
+	psg.PopulationSize = 30
+	psg.MaxIterations = 80
+	psg.StallLimit = 50
+	psg.Trials = 1
+
+	for _, scenario := range []workload.Scenario{workload.HighlyLoaded, workload.QoSLimited, workload.LightlyLoaded} {
+		cfg := workload.ScenarioConfig(scenario)
+		cfg.Strings = 15
+		sys, err := workload.Generate(cfg, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := lp.UpperBound(sys, lp.Config{Formulation: lp.Relaxed, Objective: lp.MaximizeWorth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound.Status != simplex.Optimal {
+			t.Fatalf("%v: UB status %v", scenario, bound.Status)
+		}
+		for _, name := range heuristics.AllNames {
+			psg.Seed = int64(len(name))
+			r := heuristics.Run(name, sys, psg)
+			if !r.Alloc.TwoStageFeasible() {
+				t.Fatalf("%v/%s: infeasible mapping", scenario, name)
+			}
+			if r.Metric.Worth > bound.Objective+1e-6 {
+				t.Fatalf("%v/%s: worth %v exceeds UB %v", scenario, name, r.Metric.Worth, bound.Objective)
+			}
+			res, err := sim.Run(r.Alloc, sim.Config{Periods: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The second-stage analysis estimates *average* waiting times
+			// (equations (5)-(6)); the paper notes their accuracy depends on
+			// phasing. Under the relaxed-QoS scenarios a feasible mapping
+			// must replay clean; under the tight scenario 2 an occasional
+			// per-instance violation is a documented model-fidelity limit
+			// (EXPERIMENTS.md), so only a small count is tolerated there.
+			limit := 0
+			if scenario == workload.QoSLimited {
+				limit = res.Events / 20
+			}
+			if res.QoSViolations > limit {
+				t.Errorf("%v/%s: %d QoS violations replaying a feasible mapping (limit %d)",
+					scenario, name, res.QoSViolations, limit)
+			}
+			// Every mapped string completed all its data sets.
+			for k := range sys.Strings {
+				if r.Mapped[k] && res.Strings[k].Completed != 4 {
+					t.Errorf("%v/%s: string %d completed %d/4 data sets", scenario, name, k, res.Strings[k].Completed)
+				}
+			}
+		}
+	}
+}
+
+// TestSlacknessBoundPipeline: on complete mappings the slackness UB dominates
+// every heuristic's slackness, across seeds.
+func TestSlacknessBoundPipeline(t *testing.T) {
+	psg := heuristics.DefaultPSGConfig()
+	psg.PopulationSize = 25
+	psg.MaxIterations = 60
+	psg.StallLimit = 40
+	psg.Trials = 1
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := workload.ScenarioConfig(workload.LightlyLoaded)
+		cfg.Strings = 10
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := lp.UpperBound(sys, lp.Config{Formulation: lp.Relaxed, Objective: lp.MaximizeSlackness})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound.Status != simplex.Optimal {
+			continue // complete fractional mapping impossible; nothing to compare
+		}
+		for _, name := range heuristics.Names {
+			psg.Seed = seed
+			r := heuristics.Run(name, sys, psg)
+			if r.NumMapped != len(sys.Strings) {
+				continue
+			}
+			if r.Metric.Slackness > bound.Objective+1e-6 {
+				t.Errorf("seed %d/%s: slackness %v exceeds UB %v", seed, name, r.Metric.Slackness, bound.Objective)
+			}
+		}
+	}
+}
+
+// TestDeterministicPipeline: identical seeds reproduce identical results
+// end to end.
+func TestDeterministicPipeline(t *testing.T) {
+	run := func() (float64, float64) {
+		cfg := workload.ScenarioConfig(workload.QoSLimited)
+		cfg.Strings = 12
+		sys, err := workload.Generate(cfg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psg := heuristics.DefaultPSGConfig()
+		psg.PopulationSize = 20
+		psg.MaxIterations = 50
+		psg.StallLimit = 30
+		psg.Trials = 2
+		psg.Seed = 3
+		r := heuristics.SeededPSG(sys, psg)
+		return r.Metric.Worth, r.Metric.Slackness
+	}
+	w1, s1 := run()
+	w2, s2 := run()
+	if w1 != w2 || math.Abs(s1-s2) > 0 {
+		t.Errorf("non-deterministic pipeline: (%v, %v) vs (%v, %v)", w1, s1, w2, s2)
+	}
+}

@@ -1,0 +1,339 @@
+// Package dynamic implements the runtime reallocation layer the paper's
+// introduction motivates: "the TSCE system operates in an environment that
+// undergoes unpredictable changes, e.g., in the system input workload, which
+// may cause QoS violations. Therefore, even though a good initial allocation
+// ... may ensure that no QoS constraints are violated when the system is
+// first put into operation, dynamic mapping approaches may be needed to
+// reallocate resources during execution (e.g., [22, 26])."
+//
+// The controller is analysis-driven, in the spirit of the paper: after an
+// observed workload change (modeled as per-string scale factors on CPU work
+// and transfer sizes), it re-evaluates the two-stage feasibility analysis on
+// the scaled system and repairs the allocation with the least disruptive
+// action sequence:
+//
+//  1. migrate — unmap a violating (or overload-contributing) string and
+//     re-place it with the IMR on the now-current utilization state;
+//  2. evict — if no placement restores feasibility, drop the string
+//     (lowest-worth victims first), freeing capacity for the rest.
+//
+// A separate Rebalance pass performs slackness hill climbing: it repeatedly
+// re-places the strings that pin the bottleneck resource, accepting only
+// moves that increase system slackness — a maintenance action that buys
+// headroom before the next workload surge (experiment E16).
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/feasibility"
+	"repro/internal/heuristics"
+	"repro/internal/model"
+)
+
+// ScaleWorkload returns a deep copy of the system with every application's
+// nominal execution times and output sizes multiplied by gamma (gamma > 0).
+// Nominal utilizations are unchanged: the application demands the same CPU
+// share but for proportionally longer, so its CPU work t·u and its route
+// demand both scale by gamma — the workload-increase model of the robustness
+// experiments.
+func ScaleWorkload(sys *model.System, gamma float64) (*model.System, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("dynamic: workload scale %v, want positive", gamma)
+	}
+	return ScaleStrings(sys, uniformScales(len(sys.Strings), gamma))
+}
+
+// ScaleStrings scales each string k by gammas[k], modeling non-uniform
+// workload change (some sensors surge while others idle).
+func ScaleStrings(sys *model.System, gammas []float64) (*model.System, error) {
+	if len(gammas) != len(sys.Strings) {
+		return nil, fmt.Errorf("dynamic: %d scale factors for %d strings", len(gammas), len(sys.Strings))
+	}
+	out := sys.Clone()
+	for k := range out.Strings {
+		g := gammas[k]
+		if g <= 0 {
+			return nil, fmt.Errorf("dynamic: string %d scale %v, want positive", k, g)
+		}
+		s := &out.Strings[k]
+		for i := range s.Apps {
+			for j := range s.Apps[i].NominalTime {
+				s.Apps[i].NominalTime[j] *= g
+			}
+			s.Apps[i].OutputKB *= g
+		}
+	}
+	return out, nil
+}
+
+func uniformScales(n int, gamma float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = gamma
+	}
+	return out
+}
+
+// TransferAllocation rebuilds an allocation's machine assignments on another
+// system with the same shape (same strings and application counts), e.g. a
+// scaled clone. Only completely mapped strings are transferred; the mapped
+// slice marks them.
+func TransferAllocation(src *feasibility.Allocation, dst *model.System) (*feasibility.Allocation, []bool, error) {
+	srcSys := src.System()
+	if len(srcSys.Strings) != len(dst.Strings) {
+		return nil, nil, fmt.Errorf("dynamic: systems differ: %d vs %d strings", len(srcSys.Strings), len(dst.Strings))
+	}
+	out := feasibility.New(dst)
+	mapped := make([]bool, len(dst.Strings))
+	for k := range dst.Strings {
+		if len(srcSys.Strings[k].Apps) != len(dst.Strings[k].Apps) {
+			return nil, nil, fmt.Errorf("dynamic: string %d differs: %d vs %d applications",
+				k, len(srcSys.Strings[k].Apps), len(dst.Strings[k].Apps))
+		}
+		if !src.Complete(k) {
+			continue
+		}
+		out.AssignString(k, src.StringMachines(k))
+		mapped[k] = true
+	}
+	return out, mapped, nil
+}
+
+// ActionKind classifies a repair action.
+type ActionKind string
+
+const (
+	// Migrated: the string was re-placed on (possibly) different machines.
+	Migrated ActionKind = "migrated"
+	// Evicted: the string was dropped from the mapping.
+	Evicted ActionKind = "evicted"
+)
+
+// Action is one repair step.
+type Action struct {
+	StringID int
+	Kind     ActionKind
+	// MovedApps counts applications whose machine changed (Migrated only).
+	MovedApps int
+}
+
+// Result summarizes a repair.
+type Result struct {
+	Actions []Action
+	// WorthBefore and WorthAfter are the mapped worth before and after the
+	// repair; Retained is their ratio (1 when nothing was evicted).
+	WorthBefore, WorthAfter float64
+	// SlacknessAfter is the repaired mapping's slackness.
+	SlacknessAfter float64
+	// Feasible reports whether repair reached a two-stage-feasible state
+	// (it always does: in the worst case everything is evicted).
+	Feasible bool
+}
+
+// Repair restores two-stage feasibility of the allocation after a workload
+// change, mutating alloc and mapped in place. Victims are chosen lowest
+// worth first (ties: higher tightness first, then ID) among the strings
+// implicated by the current violations; each victim is first re-placed by
+// the IMR and kept if the placement is feasible, otherwise evicted.
+func Repair(alloc *feasibility.Allocation, mapped []bool) *Result {
+	sys := alloc.System()
+	res := &Result{WorthBefore: mappedWorth(sys, mapped)}
+	// Strings that already failed a re-placement attempt: evict-only.
+	tried := make([]bool, len(sys.Strings))
+	for !alloc.TwoStageFeasible() {
+		victim := pickVictim(alloc, mapped)
+		if victim < 0 {
+			break // no implicated string found (should not happen)
+		}
+		machinesBefore := alloc.StringMachines(victim)
+		alloc.UnassignString(victim)
+		if !tried[victim] {
+			tried[victim] = true
+			heuristics.MapStringIMR(alloc, victim)
+			if alloc.FeasibleAfterAdding(victim) {
+				res.Actions = append(res.Actions, Action{
+					StringID:  victim,
+					Kind:      Migrated,
+					MovedApps: movedApps(machinesBefore, alloc.StringMachines(victim)),
+				})
+				continue
+			}
+			alloc.UnassignString(victim)
+		}
+		mapped[victim] = false
+		res.Actions = append(res.Actions, Action{StringID: victim, Kind: Evicted})
+	}
+	res.WorthAfter = mappedWorth(sys, mapped)
+	res.SlacknessAfter = alloc.Slackness()
+	res.Feasible = alloc.TwoStageFeasible()
+	return res
+}
+
+// pickVictim selects the next string to act on: among strings implicated by
+// stage-2 violations or assigned to over-utilized resources, the one with the
+// lowest worth (ties: tightest first so the disruptive re-placement helps the
+// most constrained string, then lowest ID).
+func pickVictim(alloc *feasibility.Allocation, mapped []bool) int {
+	sys := alloc.System()
+	implicated := map[int]bool{}
+	for _, v := range alloc.Violations() {
+		implicated[v.StringID] = true
+	}
+	for j := 0; j < sys.Machines; j++ {
+		if alloc.MachineUtilization(j) > 1+1e-9 {
+			markStringsOnMachine(alloc, j, implicated)
+		}
+		for j2 := 0; j2 < sys.Machines; j2++ {
+			if j != j2 && alloc.RouteUtilization(j, j2) > 1+1e-9 {
+				markStringsOnRoute(alloc, j, j2, implicated)
+			}
+		}
+	}
+	best := -1
+	for k := range implicated {
+		if !mapped[k] || !alloc.Complete(k) {
+			continue
+		}
+		if best < 0 {
+			best = k
+			continue
+		}
+		wk, wb := sys.Strings[k].Worth, sys.Strings[best].Worth
+		switch {
+		case wk < wb:
+			best = k
+		case wk == wb:
+			tk, tb := alloc.Tightness(k), alloc.Tightness(best)
+			if tk > tb || (tk == tb && k < best) {
+				best = k
+			}
+		}
+	}
+	return best
+}
+
+func markStringsOnMachine(alloc *feasibility.Allocation, j int, set map[int]bool) {
+	sys := alloc.System()
+	for k := range sys.Strings {
+		if !alloc.Complete(k) {
+			continue
+		}
+		for i := range sys.Strings[k].Apps {
+			if alloc.Machine(k, i) == j {
+				set[k] = true
+				break
+			}
+		}
+	}
+}
+
+func markStringsOnRoute(alloc *feasibility.Allocation, j1, j2 int, set map[int]bool) {
+	sys := alloc.System()
+	for k := range sys.Strings {
+		if !alloc.Complete(k) {
+			continue
+		}
+		n := len(sys.Strings[k].Apps)
+		for i := 0; i < n-1; i++ {
+			if alloc.Machine(k, i) == j1 && alloc.Machine(k, i+1) == j2 {
+				set[k] = true
+				break
+			}
+		}
+	}
+}
+
+func mappedWorth(sys *model.System, mapped []bool) float64 {
+	w := 0.0
+	for k, ok := range mapped {
+		if ok {
+			w += sys.Strings[k].Worth
+		}
+	}
+	return w
+}
+
+func movedApps(before, after []int) int {
+	n := 0
+	for i := range before {
+		if before[i] != after[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Rebalance performs slackness hill climbing on a feasible allocation: up to
+// maxMoves times, it re-places one string that uses the bottleneck resource
+// and keeps the move only if system slackness strictly improves and the
+// mapping stays feasible. It returns the accepted move count and the final
+// slackness. The allocation must be two-stage feasible on entry.
+func Rebalance(alloc *feasibility.Allocation, mapped []bool, maxMoves int) (moves int, slackness float64) {
+	sys := alloc.System()
+	for moves < maxMoves {
+		improved := false
+		base := alloc.Slackness()
+		// Candidate strings on the bottleneck resource, cheapest first so
+		// small strings move before whole pipelines.
+		cands := bottleneckStrings(alloc, mapped)
+		sort.Slice(cands, func(a, b int) bool {
+			na, nb := len(sys.Strings[cands[a]].Apps), len(sys.Strings[cands[b]].Apps)
+			if na != nb {
+				return na < nb
+			}
+			return cands[a] < cands[b]
+		})
+		for _, k := range cands {
+			saved := alloc.StringMachines(k)
+			alloc.UnassignString(k)
+			heuristics.MapStringIMR(alloc, k)
+			if alloc.FeasibleAfterAdding(k) && alloc.Slackness() > base+1e-12 {
+				moves++
+				improved = true
+				break
+			}
+			alloc.UnassignString(k)
+			alloc.AssignString(k, saved)
+		}
+		if !improved {
+			break
+		}
+	}
+	return moves, alloc.Slackness()
+}
+
+// bottleneckStrings returns the mapped strings using the single most
+// utilized resource.
+func bottleneckStrings(alloc *feasibility.Allocation, mapped []bool) []int {
+	sys := alloc.System()
+	bestU := -1.0
+	bestMachine, bestJ1, bestJ2 := -1, -1, -1
+	for j := 0; j < sys.Machines; j++ {
+		if u := alloc.MachineUtilization(j); u > bestU {
+			bestU, bestMachine, bestJ1, bestJ2 = u, j, -1, -1
+		}
+		for j2 := 0; j2 < sys.Machines; j2++ {
+			if j != j2 {
+				if u := alloc.RouteUtilization(j, j2); u > bestU {
+					bestU, bestMachine, bestJ1, bestJ2 = u, -1, j, j2
+				}
+			}
+		}
+	}
+	set := map[int]bool{}
+	if bestMachine >= 0 {
+		markStringsOnMachine(alloc, bestMachine, set)
+	} else if bestJ1 >= 0 {
+		markStringsOnRoute(alloc, bestJ1, bestJ2, set)
+	}
+	out := make([]int, 0, len(set))
+	for k := range set {
+		if mapped[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

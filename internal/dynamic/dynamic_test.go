@@ -1,0 +1,234 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/feasibility"
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestScaleWorkload(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 100,
+		Apps: []model.Application{model.UniformApp(2, 4, 0.5, 50)}})
+	scaled, err := ScaleWorkload(sys, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scaled.Strings[0].Apps[0].NominalTime[0]; !approx(got, 6, 1e-12) {
+		t.Errorf("scaled time %v, want 6", got)
+	}
+	if got := scaled.Strings[0].Apps[0].OutputKB; !approx(got, 75, 1e-12) {
+		t.Errorf("scaled output %v, want 75", got)
+	}
+	if got := scaled.Strings[0].Apps[0].NominalUtil[0]; got != 0.5 {
+		t.Errorf("utilization changed to %v", got)
+	}
+	// Original untouched.
+	if sys.Strings[0].Apps[0].NominalTime[0] != 4 {
+		t.Error("original system mutated")
+	}
+	if _, err := ScaleWorkload(sys, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := ScaleStrings(sys, []float64{1, 2}); err == nil {
+		t.Error("mismatched scale vector accepted")
+	}
+	if _, err := ScaleStrings(sys, []float64{-1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestTransferAllocation(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	for k := 0; k < 2; k++ {
+		sys.AddString(model.AppString{Worth: 10, Period: 20, MaxLatency: 100,
+			Apps: []model.Application{model.UniformApp(2, 2, 0.4, 20), model.UniformApp(2, 2, 0.4, 20)}})
+	}
+	a := feasibility.New(sys)
+	a.AssignString(0, []int{0, 1})
+	// String 1 left unmapped.
+	scaled, err := ScaleWorkload(sys, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, mapped, err := TransferAllocation(a, scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped[0] || mapped[1] {
+		t.Errorf("mapped = %v, want [true false]", mapped)
+	}
+	if b.Machine(0, 0) != 0 || b.Machine(0, 1) != 1 {
+		t.Error("assignments not transferred")
+	}
+	// Utilization reflects the scaled workload: 2*1.2*0.4/20 = 0.048.
+	if got := b.MachineUtilization(0); !approx(got, 0.048, 1e-12) {
+		t.Errorf("scaled utilization %v, want 0.048", got)
+	}
+	// Shape mismatch rejected.
+	other := model.NewUniformSystem(2, 5)
+	if _, _, err := TransferAllocation(a, other); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+// TestRepairMigrates: one machine overloads after growth, but a second
+// machine has room — repair must migrate, not evict.
+func TestRepairMigrates(t *testing.T) {
+	sys := model.NewUniformSystem(2, 10)
+	for k := 0; k < 2; k++ {
+		sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 100,
+			Apps: []model.Application{model.UniformApp(2, 6, 1, 1)}})
+	}
+	a := feasibility.New(sys)
+	a.Assign(0, 0, 0)
+	a.Assign(1, 0, 0) // both on machine 0: U = 1.2, and comp of the looser
+	// string is 12 > P = 10.
+	mapped := []bool{true, true}
+	res := Repair(a, mapped)
+	if !res.Feasible {
+		t.Fatal("repair did not reach feasibility")
+	}
+	if !mapped[0] || !mapped[1] {
+		t.Fatalf("repair evicted instead of migrating: %v (actions %+v)", mapped, res.Actions)
+	}
+	if a.Machine(0, 0) == a.Machine(1, 0) {
+		t.Error("strings still share a machine")
+	}
+	if res.WorthAfter != 20 || res.WorthBefore != 20 {
+		t.Errorf("worth %v -> %v, want 20 -> 20", res.WorthBefore, res.WorthAfter)
+	}
+	if len(res.Actions) != 1 || res.Actions[0].Kind != Migrated || res.Actions[0].MovedApps != 1 {
+		t.Errorf("actions = %+v, want one migration moving one application", res.Actions)
+	}
+}
+
+// TestRepairEvictsLowestWorth: when nothing fits anywhere, the lowest-worth
+// string goes first.
+func TestRepairEvictsLowestWorth(t *testing.T) {
+	sys := model.NewUniformSystem(1, 10)
+	worths := []float64{100, 1, 10}
+	for _, w := range worths {
+		sys.AddString(model.AppString{Worth: w, Period: 10, MaxLatency: 100,
+			Apps: []model.Application{model.UniformApp(1, 5, 0.9, 1)}})
+	}
+	a := feasibility.New(sys)
+	for k := range worths {
+		a.Assign(k, 0, 0) // U = 1.35
+	}
+	mapped := []bool{true, true, true}
+	res := Repair(a, mapped)
+	if !res.Feasible {
+		t.Fatal("repair failed")
+	}
+	if !mapped[0] || mapped[1] || !mapped[2] {
+		t.Errorf("mapped = %v, want the worth-1 string evicted", mapped)
+	}
+	if res.WorthAfter != 110 {
+		t.Errorf("worth after %v, want 110", res.WorthAfter)
+	}
+	if res.Actions[len(res.Actions)-1].Kind != Evicted && res.Actions[0].Kind != Evicted {
+		t.Errorf("no eviction recorded: %+v", res.Actions)
+	}
+}
+
+func TestRepairNoopOnFeasible(t *testing.T) {
+	sys := model.NewUniformSystem(2, 10)
+	sys.AddString(model.AppString{Worth: 10, Period: 20, MaxLatency: 100,
+		Apps: []model.Application{model.UniformApp(2, 2, 0.4, 20)}})
+	a := feasibility.New(sys)
+	a.Assign(0, 0, 0)
+	mapped := []bool{true}
+	res := Repair(a, mapped)
+	if len(res.Actions) != 0 || !res.Feasible || !mapped[0] {
+		t.Errorf("repair acted on a feasible mapping: %+v", res)
+	}
+}
+
+// TestRepairAfterGrowthPipeline: the full dynamic flow on generated
+// workloads — allocate, grow, transfer, repair — always ends feasible, never
+// increases worth, and preserves determinism.
+func TestRepairAfterGrowthPipeline(t *testing.T) {
+	cfg := workload.ScenarioConfig(workload.LightlyLoaded)
+	cfg.Strings = 12
+	for seed := int64(1); seed <= 5; seed++ {
+		sys := workload.MustGenerate(cfg, seed)
+		r := heuristics.MWF(sys)
+		scaled, err := ScaleWorkload(sys, 2.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, mapped, err := TransferAllocation(r.Alloc, scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Repair(alloc, mapped)
+		if !res.Feasible || !alloc.TwoStageFeasible() {
+			t.Fatalf("seed %d: repair did not restore feasibility", seed)
+		}
+		if res.WorthAfter > res.WorthBefore+1e-9 {
+			t.Fatalf("seed %d: repair increased worth %v -> %v", seed, res.WorthBefore, res.WorthAfter)
+		}
+		for k, ok := range mapped {
+			if ok != alloc.Complete(k) {
+				t.Fatalf("seed %d: mapped flags diverge from allocation at string %d", seed, k)
+			}
+		}
+	}
+}
+
+// TestRebalanceImprovesSlackness: a deliberately lopsided feasible mapping
+// must gain slackness from rebalancing.
+func TestRebalanceImprovesSlackness(t *testing.T) {
+	sys := model.NewUniformSystem(2, 10)
+	for k := 0; k < 4; k++ {
+		sys.AddString(model.AppString{Worth: 10, Period: 20, MaxLatency: 200,
+			Apps: []model.Application{model.UniformApp(2, 4, 0.5, 1)}})
+	}
+	a := feasibility.New(sys)
+	mapped := make([]bool, 4)
+	for k := 0; k < 4; k++ {
+		a.Assign(k, 0, 0) // all on machine 0: U = 0.4 vs 0
+		mapped[k] = true
+	}
+	if !a.TwoStageFeasible() {
+		t.Fatal("premise: lopsided mapping should still be feasible")
+	}
+	before := a.Slackness()
+	moves, after := Rebalance(a, mapped, 10)
+	if moves == 0 || after <= before {
+		t.Errorf("rebalance made %d moves, slackness %v -> %v", moves, before, after)
+	}
+	if !a.TwoStageFeasible() {
+		t.Error("rebalance broke feasibility")
+	}
+	// Balanced: two strings per machine -> slackness 0.8.
+	if !approx(after, 0.8, 1e-9) {
+		t.Errorf("slackness %v, want 0.8", after)
+	}
+}
+
+// TestRebalanceRespectsMoveBudget and terminates at local optima.
+func TestRebalanceStopsAtOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := workload.ScenarioConfig(workload.LightlyLoaded)
+	cfg.Strings = 10
+	sys := workload.MustGenerate(cfg, rng.Int63())
+	r := heuristics.MWF(sys)
+	mapped := append([]bool(nil), r.Mapped...)
+	moves1, s1 := Rebalance(r.Alloc, mapped, 100)
+	moves2, s2 := Rebalance(r.Alloc, mapped, 100)
+	if moves2 != 0 || s2 != s1 {
+		t.Errorf("second rebalance moved %d (slackness %v -> %v): not at a fixed point", moves2, s1, s2)
+	}
+	if moves1 > 100 {
+		t.Errorf("move budget exceeded: %d", moves1)
+	}
+}

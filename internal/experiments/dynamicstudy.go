@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dynamic"
+	"repro/internal/heuristics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// DynamicStudy (E16) exercises the dynamic-reallocation layer the paper's
+// introduction motivates: after the input workload grows by a factor γ, the
+// repair controller migrates or evicts strings until the two-stage analysis
+// passes again. The study reports, per growth factor, the fraction of worth
+// retained and the disruption (migrations and evictions), for initial
+// allocations produced by MWF and by Seeded PSG — quantifying how the
+// higher-slackness initial mapping defers disruption.
+type DynamicStudy struct {
+	Runs   int
+	Scales []float64
+	// Rows[heuristic][scaleIndex].
+	Rows map[string][]DynamicPoint
+	// InitialSlackness per heuristic.
+	InitialSlackness map[string]*stats.Sample
+}
+
+// DynamicPoint aggregates one (heuristic, scale) cell.
+type DynamicPoint struct {
+	Scale          float64
+	RetainedWorth  stats.Sample // WorthAfter / WorthBefore
+	Migrations     stats.Sample
+	Evictions      stats.Sample
+	RepairFeasible int // runs where repair reached feasibility (always, by construction)
+}
+
+// RunDynamicStudy executes E16 on scenario-3 instances.
+func RunDynamicStudy(opts Options, scales []float64) (*DynamicStudy, error) {
+	opts = opts.withDefaults()
+	if len(scales) == 0 {
+		scales = []float64{1.5, 2.0, 2.5, 3.0}
+	}
+	names := []string{"MWF", "SeededPSG"}
+	out := &DynamicStudy{
+		Runs:             opts.Runs,
+		Scales:           scales,
+		Rows:             map[string][]DynamicPoint{},
+		InitialSlackness: map[string]*stats.Sample{},
+	}
+	for _, n := range names {
+		pts := make([]DynamicPoint, len(scales))
+		for i, s := range scales {
+			pts[i].Scale = s
+		}
+		out.Rows[n] = pts
+		out.InitialSlackness[n] = &stats.Sample{}
+	}
+	cfg := opts.scenarioConfig(workload.LightlyLoaded)
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			pcfg := opts.PSG
+			pcfg.Seed = seed * 7919
+			r := heuristics.Run(name, sys, pcfg)
+			out.InitialSlackness[name].Add(r.Metric.Slackness)
+			for si, scale := range scales {
+				scaled, err := dynamic.ScaleWorkload(sys, scale)
+				if err != nil {
+					return nil, err
+				}
+				alloc, mapped, err := dynamic.TransferAllocation(r.Alloc, scaled)
+				if err != nil {
+					return nil, err
+				}
+				res := dynamic.Repair(alloc, mapped)
+				pt := &out.Rows[name][si]
+				if res.WorthBefore > 0 {
+					pt.RetainedWorth.Add(res.WorthAfter / res.WorthBefore)
+				}
+				mig, evi := 0, 0
+				for _, a := range res.Actions {
+					if a.Kind == dynamic.Migrated {
+						mig++
+					} else {
+						evi++
+					}
+				}
+				pt.Migrations.Add(float64(mig))
+				pt.Evictions.Add(float64(evi))
+				if res.Feasible {
+					pt.RepairFeasible++
+				}
+			}
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "dynamic study: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	return out, nil
+}
+
+// WriteTable renders the dynamic study.
+func (d *DynamicStudy) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Study E16: dynamic reallocation after workload growth (scenario 3, %d runs)\n", d.Runs)
+	for _, name := range []string{"MWF", "SeededPSG"} {
+		fmt.Fprintf(w, "%s (initial slackness %s):\n", name, d.InitialSlackness[name].String())
+		fmt.Fprintf(w, "  %8s  %22s  %14s  %14s\n", "scale", "retained worth", "migrations", "evictions")
+		for _, pt := range d.Rows[name] {
+			fmt.Fprintf(w, "  %8.2f  %22s  %14.2f  %14.2f\n",
+				pt.Scale, pt.RetainedWorth.String(), pt.Migrations.Mean(), pt.Evictions.Mean())
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package experiments regenerates every table and figure of the evaluation
+// section (Section 8) of Shestak et al. (IPPS 2005), plus the extension and
+// ablation studies listed in DESIGN.md. It is the shared harness behind
+// cmd/experiments and the repository-level benchmarks:
+//
+//   - Figure3/Figure4: total worth of allocated strings per heuristic and the
+//     LP upper bound, for the highly loaded and QoS-limited scenarios;
+//   - Figure5: system slackness per heuristic and the LP upper bound, for the
+//     lightly loaded scenario;
+//   - Timing: heuristic execution-time comparison (Section 8 discussion);
+//   - Figure2: analytic (equation (5)) versus simulated computation times for
+//     the three CPU-sharing cases;
+//   - Robustness: workload-scale sweep replayed in the discrete-event
+//     simulator against the slackness-predicted absorption limit;
+//   - BiasSweep / SeedingStudy / PopulationSweep / WorthMixStudy: ablations of
+//     the PSG design choices.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/heuristics"
+	"repro/internal/lp"
+	"repro/internal/simplex"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options control an experiment batch.
+type Options struct {
+	// Runs is the number of independent simulation runs averaged (the paper
+	// used 100).
+	Runs int
+	// Seed makes the batch reproducible; run r uses Seed + r.
+	Seed int64
+	// PSG configures the GENITOR-based heuristics. Zero value means the
+	// paper defaults (population 250, bias 1.6, 5000 iterations, stall 300,
+	// 4 trials) — expensive; cmd/experiments exposes lighter budgets.
+	PSG heuristics.PSGConfig
+	// Strings overrides the scenario's string count when nonzero (reduced-
+	// scale runs).
+	Strings int
+	// WorthWeights overrides the worth mixing proportions when non-nil.
+	WorthWeights []float64
+	// SkipUB drops the LP upper-bound series.
+	SkipUB bool
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs == 0 {
+		o.Runs = 10
+	}
+	if o.PSG.PopulationSize == 0 {
+		o.PSG = heuristics.DefaultPSGConfig()
+	}
+	return o
+}
+
+func (o Options) scenarioConfig(s workload.Scenario) workload.Config {
+	cfg := workload.ScenarioConfig(s)
+	if o.Strings > 0 {
+		cfg.Strings = o.Strings
+	}
+	if o.WorthWeights != nil {
+		cfg.WorthWeights = o.WorthWeights
+	}
+	return cfg
+}
+
+// Series is one bar of a figure: a named sample across runs.
+type Series struct {
+	Name   string
+	Sample stats.Sample
+}
+
+// Figure is a regenerated table/figure: one row per heuristic (and the upper
+// bound), averaged over runs with 95% confidence intervals.
+type Figure struct {
+	Title  string
+	Metric string
+	Series []Series
+	Runs   int
+	Notes  []string
+}
+
+// WriteTable renders the figure as a text table mirroring the paper's bar
+// charts.
+func (f *Figure) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", f.Title)
+	fmt.Fprintf(w, "%-12s  %12s  %12s  %8s\n", "series", "mean "+f.Metric, "95% CI ±", "n")
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%-12s  %12.4g  %12.3g  %8d\n", s.Name, s.Sample.Mean(), s.Sample.CI95(), s.Sample.N())
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// Get returns the series with the given name, or nil.
+func (f *Figure) Get(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// worthFigure runs the partial-allocation experiment (Figures 3 and 4):
+// total worth per heuristic plus the relaxed LP upper bound.
+func worthFigure(scenario workload.Scenario, title string, opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{Title: title, Metric: "total worth", Runs: opts.Runs}
+	series := map[string]*stats.Sample{}
+	names := append([]string(nil), heuristics.Names...)
+	if !opts.SkipUB {
+		names = append(names, "UB")
+	}
+	for _, n := range names {
+		series[n] = &stats.Sample{}
+	}
+	cfg := opts.scenarioConfig(scenario)
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range heuristics.Names {
+			pcfg := opts.PSG
+			pcfg.Seed = seed * 7919
+			r := heuristics.Run(name, sys, pcfg)
+			series[name].Add(r.Metric.Worth)
+		}
+		if !opts.SkipUB {
+			b, err := lp.UpperBound(sys, lp.Config{Formulation: lp.Relaxed, Objective: lp.MaximizeWorth})
+			if err != nil {
+				return nil, err
+			}
+			if b.Status != simplex.Optimal {
+				return nil, fmt.Errorf("experiments: worth UB %v on run %d", b.Status, run)
+			}
+			series["UB"].Add(b.Objective)
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%s: run %d/%d done\n", title, run+1, opts.Runs)
+		}
+	}
+	for _, n := range names {
+		f.Series = append(f.Series, Series{Name: n, Sample: *series[n]})
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("%v, %d strings, worth levels {1,10,100}", scenario, cfg.Strings),
+		"UB is the relaxed (route-free) fractional-mapping LP: a valid upper bound; see EXPERIMENTS.md")
+	return f, nil
+}
+
+// Figure3 regenerates Figure 3: total worth for partial mapping in a highly
+// loaded system (scenario 1).
+func Figure3(opts Options) (*Figure, error) {
+	return worthFigure(workload.HighlyLoaded, "Figure 3: total worth, highly loaded system (scenario 1)", opts)
+}
+
+// Figure4 regenerates Figure 4: total worth for partial mapping in a
+// QoS-limited system (scenario 2).
+func Figure4(opts Options) (*Figure, error) {
+	return worthFigure(workload.QoSLimited, "Figure 4: total worth, QoS-limited system (scenario 2)", opts)
+}
+
+// Figure5 regenerates Figure 5: system slackness for complete mapping in a
+// lightly loaded system (scenario 3).
+func Figure5(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{Title: "Figure 5: system slackness, lightly loaded system (scenario 3)",
+		Metric: "slackness", Runs: opts.Runs}
+	series := map[string]*stats.Sample{}
+	names := append([]string(nil), heuristics.Names...)
+	if !opts.SkipUB {
+		names = append(names, "UB")
+	}
+	for _, n := range names {
+		series[n] = &stats.Sample{}
+	}
+	incomplete := 0
+	cfg := opts.scenarioConfig(workload.LightlyLoaded)
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range heuristics.Names {
+			pcfg := opts.PSG
+			pcfg.Seed = seed * 7919
+			r := heuristics.Run(name, sys, pcfg)
+			series[name].Add(r.Metric.Slackness)
+			if r.NumMapped != len(sys.Strings) {
+				incomplete++
+			}
+		}
+		if !opts.SkipUB {
+			b, err := lp.UpperBound(sys, lp.Config{Formulation: lp.Relaxed, Objective: lp.MaximizeSlackness})
+			if err != nil {
+				return nil, err
+			}
+			if b.Status != simplex.Optimal {
+				return nil, fmt.Errorf("experiments: slackness UB %v on run %d", b.Status, run)
+			}
+			series["UB"].Add(b.Objective)
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%s: run %d/%d done\n", f.Title, run+1, opts.Runs)
+		}
+	}
+	for _, n := range names {
+		f.Series = append(f.Series, Series{Name: n, Sample: *series[n]})
+	}
+	f.Notes = append(f.Notes, fmt.Sprintf("%v, %d strings", workload.LightlyLoaded, cfg.Strings))
+	if incomplete > 0 {
+		f.Notes = append(f.Notes, fmt.Sprintf("%d heuristic runs did not map the full set", incomplete))
+	}
+	return f, nil
+}
+
+// Timing regenerates the Section 8 execution-time comparison: wall-clock
+// seconds per heuristic run plus the LP upper-bound computation, on
+// scenario 1 instances.
+func Timing(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{Title: "Section 8: heuristic execution time (seconds)", Metric: "seconds", Runs: opts.Runs}
+	series := map[string]*stats.Sample{}
+	names := append([]string(nil), heuristics.Names...)
+	if !opts.SkipUB {
+		names = append(names, "UB")
+	}
+	for _, n := range names {
+		series[n] = &stats.Sample{}
+	}
+	cfg := opts.scenarioConfig(workload.HighlyLoaded)
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range heuristics.Names {
+			pcfg := opts.PSG
+			pcfg.Seed = seed * 7919
+			start := time.Now()
+			heuristics.Run(name, sys, pcfg)
+			series[name].Add(time.Since(start).Seconds())
+		}
+		if !opts.SkipUB {
+			start := time.Now()
+			if _, err := lp.UpperBound(sys, lp.Config{Formulation: lp.Relaxed, Objective: lp.MaximizeWorth}); err != nil {
+				return nil, err
+			}
+			series["UB"].Add(time.Since(start).Seconds())
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "timing: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	for _, n := range names {
+		f.Series = append(f.Series, Series{Name: n, Sample: *series[n]})
+	}
+	f.Notes = append(f.Notes,
+		"paper: MWF/TF in seconds, PSG/Seeded PSG about two hours (2005 hardware), Lingo LP under two seconds")
+	return f, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/feasibility"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Fig2Case is one CPU-sharing case of Figure 2: the analytic estimate of
+// equation (5) for the lower-priority application against the mean
+// computation time measured by the discrete-event simulator.
+type Fig2Case struct {
+	Name      string
+	P1, P2    float64
+	U1        float64
+	Estimated float64
+	Simulated float64
+}
+
+// Figure2 regenerates the three cases of Figure 2. The construction follows
+// the paper: two single-application strings share one machine, string 1 is
+// relatively tighter (higher priority), periods are lined up at their
+// beginnings, t1 = 4 s and t2 = 2 s.
+func Figure2() ([]Fig2Case, error) {
+	cases := []Fig2Case{
+		{Name: "case 1: P[1] = P[2], u¹ = 1", P1: 10, P2: 10, U1: 1.0},
+		{Name: "case 2: P[1] = 2·P[2], u¹ = 1", P1: 20, P2: 10, U1: 1.0},
+		{Name: "case 3: P[1] = 2·P[2], u¹ = 0.5", P1: 20, P2: 10, U1: 0.5},
+	}
+	for c := range cases {
+		sys := model.NewUniformSystem(2, 5)
+		sys.AddString(model.AppString{Worth: 10, Period: cases[c].P1, MaxLatency: 5,
+			Apps: []model.Application{model.UniformApp(2, 4, cases[c].U1, 10)}})
+		sys.AddString(model.AppString{Worth: 10, Period: cases[c].P2, MaxLatency: 100,
+			Apps: []model.Application{model.UniformApp(2, 2, 1.0, 10)}})
+		alloc := feasibility.New(sys)
+		alloc.Assign(0, 0, 0)
+		alloc.Assign(1, 0, 0)
+		cases[c].Estimated = alloc.EstimatedCompTime(1, 0)
+		res, err := sim.Run(alloc, sim.Config{Periods: 40})
+		if err != nil {
+			return nil, err
+		}
+		cases[c].Simulated = res.Strings[1].Apps[0].MeanComp
+	}
+	return cases, nil
+}
+
+// WriteFigure2 renders the Figure 2 validation table.
+func WriteFigure2(w io.Writer, cases []Fig2Case) {
+	fmt.Fprintln(w, "Figure 2: estimated (equation (5)) vs simulated mean computation time of the lower-priority application")
+	fmt.Fprintf(w, "%-28s  %10s  %10s\n", "case", "estimated", "simulated")
+	for _, c := range cases {
+		fmt.Fprintf(w, "%-28s  %10.4f  %10.4f\n", c.Name, c.Estimated, c.Simulated)
+	}
+}

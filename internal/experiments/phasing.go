@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/heuristics"
+	"repro/internal/pool"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// PhasingStudy (E17) probes the paper's worst-case alignment assumption: the
+// analysis lines all periods up at their beginnings ("to capture the
+// worst-case overlap between processes", Section 3). The study replays
+// feasible QoS-limited mappings in the simulator with aligned phases and
+// with uniformly random phases, comparing QoS violations and worst latency.
+type PhasingStudy struct {
+	Runs int
+	// AlignedViolations / RandomViolations per run; RandomWorse counts runs
+	// where a random phasing produced more violations than alignment.
+	AlignedViolations, RandomViolations stats.Sample
+	AlignedWorstLat, RandomWorstLat     stats.Sample
+	RandomWorse                         int
+}
+
+// RunPhasingStudy executes E17 on scenario-2 instances mapped by MWF.
+func RunPhasingStudy(opts Options) (*PhasingStudy, error) {
+	opts = opts.withDefaults()
+	out := &PhasingStudy{Runs: opts.Runs}
+	cfg := opts.scenarioConfig(workload.QoSLimited)
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		r := heuristics.MWF(sys)
+		aligned, err := sim.Run(r.Alloc, sim.Config{Periods: 8})
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed * 31))
+		phases := make([]float64, len(sys.Strings))
+		for k := range phases {
+			phases[k] = rng.Float64() * sys.Strings[k].Period
+		}
+		random, err := sim.Run(r.Alloc, sim.Config{Periods: 8, Phases: phases})
+		if err != nil {
+			return nil, err
+		}
+		out.AlignedViolations.Add(float64(aligned.QoSViolations))
+		out.RandomViolations.Add(float64(random.QoSViolations))
+		out.AlignedWorstLat.Add(worstLatency(aligned))
+		out.RandomWorstLat.Add(worstLatency(random))
+		if random.QoSViolations > aligned.QoSViolations {
+			out.RandomWorse++
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "phasing study: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	return out, nil
+}
+
+func worstLatency(res *sim.Result) float64 {
+	w := 0.0
+	for k := range res.Strings {
+		if res.Strings[k].MaxLatency > w {
+			w = res.Strings[k].MaxLatency
+		}
+	}
+	return w
+}
+
+// WriteTable renders the phasing study.
+func (p *PhasingStudy) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Study E17: aligned (paper worst-case) vs random phasing (scenario 2, MWF, %d runs)\n", p.Runs)
+	fmt.Fprintf(w, "aligned phases:  violations %s, worst latency %s\n", p.AlignedViolations.String(), p.AlignedWorstLat.String())
+	fmt.Fprintf(w, "random phases:   violations %s, worst latency %s\n", p.RandomViolations.String(), p.RandomWorstLat.String())
+	fmt.Fprintf(w, "runs where random phasing was worse than aligned: %d/%d\n", p.RandomWorse, p.Runs)
+}
+
+// PoolingStudy (E18) quantifies the footnote-1 generalization: how much
+// worth does allocating at pool granularity (aggregate member information)
+// sacrifice versus the paper's flat one-machine-per-pool model, as pool size
+// grows.
+type PoolingStudy struct {
+	Runs  int
+	Sizes []int
+	// Worth[i] is the pooled MWF worth at Sizes[i]; Flat is the baseline.
+	Flat  stats.Sample
+	Worth []stats.Sample
+}
+
+// RunPoolingStudy executes E18 on scenario-1 instances.
+func RunPoolingStudy(opts Options, sizes []int) (*PoolingStudy, error) {
+	opts = opts.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{2, 3, 4, 6}
+	}
+	out := &PoolingStudy{Runs: opts.Runs, Sizes: sizes, Worth: make([]stats.Sample, len(sizes))}
+	cfg := opts.scenarioConfig(workload.HighlyLoaded)
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		order := heuristics.MWFOrder(sys)
+		out.Flat.Add(heuristics.MapSequence(sys, order).Metric.Worth)
+		for si, size := range sizes {
+			part, err := pool.Uniform(sys.Machines, size)
+			if err != nil {
+				return nil, err
+			}
+			r, err := pool.MapSequencePooled(sys, part, order)
+			if err != nil {
+				return nil, err
+			}
+			out.Worth[si].Add(r.Metric.Worth)
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "pooling study: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	return out, nil
+}
+
+// WriteTable renders the pooling study.
+func (p *PoolingStudy) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Study E18: pool-granular allocation vs flat (scenario 1, MWF order, %d runs)\n", p.Runs)
+	fmt.Fprintf(w, "%-14s  %s\n", "flat (paper)", p.Flat.String())
+	for si, size := range p.Sizes {
+		fmt.Fprintf(w, "pool size %-4d  %s\n", size, p.Worth[si].String())
+	}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/heuristics"
+	"repro/internal/lp"
+	"repro/internal/simplex"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Additional studies beyond the paper's figures (experiments E10-E13 in
+// DESIGN.md): the solution-space GA baseline the paper dismisses, the
+// termination-semantics ablation, the heterogeneity-model ablation, and the
+// LP relaxation-gap audit.
+
+// SSGStudy (E10) reproduces the Section 5 observation that a genetic
+// algorithm operating directly in the solution space is not competitive: at
+// an equal evaluation budget, the solution-space GA (with a
+// best-effort greedy repair) is compared against PSG and Seeded PSG.
+func SSGStudy(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{Title: "Study E10: solution-space GA vs permutation-space GA (scenario 2)",
+		Metric: "total worth", Runs: opts.Runs}
+	var ssg, psg, seeded stats.Sample
+	cfg := opts.scenarioConfig(workload.QoSLimited)
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		pcfg := opts.PSG
+		pcfg.Seed = seed * 7919
+		psg.Add(heuristics.PSG(sys, pcfg).Metric.Worth)
+		seeded.Add(heuristics.SeededPSG(sys, pcfg).Metric.Worth)
+		scfg := heuristics.SSGConfig{
+			PopulationSize: pcfg.PopulationSize,
+			Bias:           pcfg.Bias,
+			MaxIterations:  pcfg.MaxIterations * pcfg.Trials, // equal total budget
+			StallLimit:     pcfg.StallLimit,
+			Seed:           seed * 7919,
+		}
+		ssg.Add(heuristics.SSG(sys, scfg).Metric.Worth)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "SSG study: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	f.Series = []Series{
+		{Name: "SSG", Sample: ssg},
+		{Name: "PSG", Sample: psg},
+		{Name: "SeededPSG", Sample: seeded},
+	}
+	f.Notes = append(f.Notes,
+		"SSG searches application-to-machine assignments directly with greedy repair;",
+		"the paper reports this approach 'failed to find any feasible allocation ... in the reasonable amount of time'")
+	return f, nil
+}
+
+// TerminationStudy (E11) quantifies the paper's terminate-at-first-failure
+// mapping semantics against a skip-on-failure variant, for the MWF and TF
+// orderings on QoS-limited instances (where early failures are common).
+func TerminationStudy(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{Title: "Study E11: terminate-at-first-failure vs skip-on-failure (scenario 2)",
+		Metric: "total worth", Runs: opts.Runs}
+	samples := make([]stats.Sample, 4)
+	names := []string{"MWF-stop", "MWF-skip", "TF-stop", "TF-skip"}
+	cfg := opts.scenarioConfig(workload.QoSLimited)
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		mwfOrder := heuristics.MWFOrder(sys)
+		tfOrder := heuristics.TFOrder(sys)
+		samples[0].Add(heuristics.MapSequence(sys, mwfOrder).Metric.Worth)
+		samples[1].Add(heuristics.MapSequenceSkip(sys, mwfOrder).Metric.Worth)
+		samples[2].Add(heuristics.MapSequence(sys, tfOrder).Metric.Worth)
+		samples[3].Add(heuristics.MapSequenceSkip(sys, tfOrder).Metric.Worth)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "termination study: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	for i, n := range names {
+		f.Series = append(f.Series, Series{Name: n, Sample: samples[i]})
+	}
+	f.Notes = append(f.Notes,
+		"skip-on-failure dominates by construction; the gap is the worth the paper's stop rule leaves unmapped")
+	return f, nil
+}
+
+// HeterogeneityStudy (E12) compares heuristic performance under the paper's
+// inconsistent heterogeneity model against the consistent model of the
+// heterogeneous-computing literature (paper reference [5]).
+func HeterogeneityStudy(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{Title: "Study E12: inconsistent vs consistent machine heterogeneity (scenario 1)",
+		Metric: "total worth", Runs: opts.Runs}
+	models := []workload.Heterogeneity{workload.Inconsistent, workload.Consistent}
+	mwf := make([]stats.Sample, 2)
+	sp := make([]stats.Sample, 2)
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		for mi, het := range models {
+			cfg := opts.scenarioConfig(workload.HighlyLoaded)
+			cfg.Heterogeneity = het
+			sys, err := workload.Generate(cfg, seed)
+			if err != nil {
+				return nil, err
+			}
+			pcfg := opts.PSG
+			pcfg.Seed = seed * 7919
+			mwf[mi].Add(heuristics.MWF(sys).Metric.Worth)
+			sp[mi].Add(heuristics.SeededPSG(sys, pcfg).Metric.Worth)
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "heterogeneity study: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	for mi, het := range models {
+		f.Series = append(f.Series, Series{Name: "MWF/" + het.String(), Sample: mwf[mi]})
+		f.Series = append(f.Series, Series{Name: "SeededPSG/" + het.String(), Sample: sp[mi]})
+	}
+	f.Notes = append(f.Notes,
+		"under consistent heterogeneity every application prefers the same fast machines, concentrating contention")
+	return f, nil
+}
+
+// WorthSchemeStudy (E14) implements the Section 4 alternate worth scheme
+// comparison: standard PSG maximizes summed worth, where ten medium strings
+// equal one high string; the classed scheme gives high-worth strings absolute
+// lexicographic priority. The study reports the high-class worth each scheme
+// preserves on QoS-limited instances with a medium-heavy mix (where the
+// schemes actually disagree).
+func WorthSchemeStudy(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{Title: "Study E14: standard vs alternate (classed) worth scheme (scenario 2)",
+		Metric: "worth", Runs: opts.Runs}
+	var stdTotal, stdHigh, classedTotal, classedHigh stats.Sample
+	cfg := opts.scenarioConfig(workload.QoSLimited)
+	if opts.WorthWeights == nil {
+		// Medium-heavy mix: plenty of medium worth to tempt the standard
+		// scheme away from expensive high-worth strings.
+		cfg.WorthWeights = []float64{0.2, 0.6, 0.2}
+	}
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		pcfg := opts.PSG
+		pcfg.Seed = seed * 7919
+		std := heuristics.SeededPSG(sys, pcfg)
+		classed := heuristics.ClassedPSG(sys, pcfg)
+		stdTotal.Add(std.Metric.Worth)
+		classedTotal.Add(classed.Metric.Worth)
+		h, _, _ := heuristics.MappedWorthByClass(sys, std)
+		stdHigh.Add(h)
+		h, _, _ = heuristics.MappedWorthByClass(sys, classed)
+		classedHigh.Add(h)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "worth-scheme study: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	f.Series = []Series{
+		{Name: "std/total", Sample: stdTotal},
+		{Name: "std/high", Sample: stdHigh},
+		{Name: "classed/total", Sample: classedTotal},
+		{Name: "classed/high", Sample: classedHigh},
+	}
+	f.Notes = append(f.Notes,
+		"the classed scheme may trade total worth for high-class worth; both columns shown")
+	return f, nil
+}
+
+// RelaxationAudit (E13) measures what the relaxed upper-bound formulation
+// gives up: on reduced instances it solves both formulations and reports the
+// worth gap, and on each relaxed solution it reports the maximum route
+// utilization a transportation-plan realization would imply.
+type RelaxationAudit struct {
+	Runs int
+	// Full and Relaxed are the two bounds' objectives; Gap is
+	// (relaxed - full) / full.
+	Full, Relaxed, Gap stats.Sample
+	// ImpliedRouteUtil is the audit of the relaxed solutions.
+	ImpliedRouteUtil stats.Sample
+}
+
+// AuditRelaxation runs E13 on reduced scenario-2 instances (the full LP is
+// exponential-ish in practice beyond a few dozen strings).
+func AuditRelaxation(opts Options) (*RelaxationAudit, error) {
+	opts = opts.withDefaults()
+	strings := opts.Strings
+	if strings == 0 || strings > 20 {
+		strings = 10
+	}
+	out := &RelaxationAudit{Runs: opts.Runs}
+	cfg := opts.scenarioConfig(workload.QoSLimited)
+	cfg.Strings = strings
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		full, err := lp.UpperBound(sys, lp.Config{Formulation: lp.Full, Objective: lp.MaximizeWorth})
+		if err != nil {
+			return nil, err
+		}
+		relaxed, err := lp.UpperBound(sys, lp.Config{Formulation: lp.Relaxed, Objective: lp.MaximizeWorth})
+		if err != nil {
+			return nil, err
+		}
+		if full.Status != simplex.Optimal || relaxed.Status != simplex.Optimal {
+			return nil, fmt.Errorf("experiments: LP statuses %v/%v on run %d", full.Status, relaxed.Status, run)
+		}
+		out.Full.Add(full.Objective)
+		out.Relaxed.Add(relaxed.Objective)
+		if full.Objective > 0 {
+			out.Gap.Add((relaxed.Objective - full.Objective) / full.Objective)
+		}
+		audit, err := lp.AuditRoutes(sys, relaxed)
+		if err != nil {
+			return nil, err
+		}
+		out.ImpliedRouteUtil.Add(audit)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "relaxation audit: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	return out, nil
+}
+
+// WriteTable renders the relaxation audit.
+func (r *RelaxationAudit) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Study E13: full vs relaxed LP upper bound (%d runs, reduced instances)\n", r.Runs)
+	fmt.Fprintf(w, "full LP worth UB:       %s\n", r.Full.String())
+	fmt.Fprintf(w, "relaxed LP worth UB:    %s\n", r.Relaxed.String())
+	fmt.Fprintf(w, "relative gap:           %s\n", r.Gap.String())
+	fmt.Fprintf(w, "implied route util of relaxed solutions (transportation-plan audit): %s\n",
+		r.ImpliedRouteUtil.String())
+}

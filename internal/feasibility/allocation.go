@@ -1,0 +1,275 @@
+// Package feasibility implements the allocation feasibility analysis of
+// Sections 3 and 4 of Shestak et al. (IPPS 2005): overall machine and
+// communication-route utilizations (equations (2) and (3)), relative
+// tightness (equation (4)), estimated computation and transfer times under
+// resource sharing (equations (5) and (6)), the two-stage feasibility test
+// against the QoS constraints (equation (1)), and the performance metric of
+// total worth plus system slackness (equation (7)).
+//
+// The central type is Allocation: a mutable application-to-machine mapping
+// over an immutable model.System, with all utilization bookkeeping maintained
+// incrementally so heuristics can cheaply evaluate candidate assignments.
+package feasibility
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Unassigned marks an application with no machine assignment yet.
+const Unassigned = -1
+
+// utilEps is the tolerance used when comparing utilizations and times against
+// their capacity bounds, absorbing float64 accumulation error.
+const utilEps = 1e-9
+
+// appRef identifies application i of string k.
+type appRef struct{ k, i int }
+
+// Allocation is a (possibly partial) application-to-machine mapping. It
+// maintains, incrementally under Assign/Unassign:
+//
+//   - per-machine overall utilization (equation (2)),
+//   - per-route overall utilization (equation (3)),
+//   - per-machine and per-route rosters of assigned applications, used to
+//     evaluate the sharing-aware time estimates (equations (5) and (6)),
+//   - relative tightness (equation (4)) for each completely mapped string.
+type Allocation struct {
+	sys *model.System
+
+	machineOf [][]int // [k][i] -> machine index or Unassigned
+	nAssigned []int   // per string, how many of its apps are assigned
+
+	machineUtil []float64   // U_machine[j], equation (2)
+	routeUtil   [][]float64 // U_route[j1][j2], equation (3); diagonal unused
+
+	perMachine [][]appRef   // machine j -> applications assigned to it
+	perRoute   [][][]appRef // [j1][j2] -> producing apps whose output uses the route
+
+	tightness []float64 // T[k] per equation (4); NaN until string k is complete
+}
+
+// New returns an empty allocation over sys. The system must be validated.
+func New(sys *model.System) *Allocation {
+	m := sys.Machines
+	a := &Allocation{
+		sys:         sys,
+		machineOf:   make([][]int, len(sys.Strings)),
+		nAssigned:   make([]int, len(sys.Strings)),
+		machineUtil: make([]float64, m),
+		routeUtil:   make([][]float64, m),
+		perMachine:  make([][]appRef, m),
+		perRoute:    make([][][]appRef, m),
+		tightness:   make([]float64, len(sys.Strings)),
+	}
+	for k := range sys.Strings {
+		a.machineOf[k] = make([]int, len(sys.Strings[k].Apps))
+		for i := range a.machineOf[k] {
+			a.machineOf[k][i] = Unassigned
+		}
+		a.tightness[k] = math.NaN()
+	}
+	for j := 0; j < m; j++ {
+		a.routeUtil[j] = make([]float64, m)
+		a.perRoute[j] = make([][]appRef, m)
+	}
+	return a
+}
+
+// System returns the system the allocation maps onto.
+func (a *Allocation) System() *model.System { return a.sys }
+
+// Machine returns the machine application i of string k is assigned to, or
+// Unassigned.
+func (a *Allocation) Machine(k, i int) int { return a.machineOf[k][i] }
+
+// Complete reports whether every application of string k is assigned.
+func (a *Allocation) Complete(k int) bool {
+	return a.nAssigned[k] == len(a.sys.Strings[k].Apps)
+}
+
+// NumComplete returns the number of completely mapped strings.
+func (a *Allocation) NumComplete() int {
+	n := 0
+	for k := range a.sys.Strings {
+		if a.Complete(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// MachineUtilization returns U_machine[j] (equation (2)) under the current
+// assignments.
+func (a *Allocation) MachineUtilization(j int) float64 { return a.machineUtil[j] }
+
+// RouteUtilization returns U_route[j1, j2] (equation (3)) under the current
+// assignments. Intra-machine routes always report zero.
+func (a *Allocation) RouteUtilization(j1, j2 int) float64 {
+	if j1 == j2 {
+		return 0
+	}
+	return a.routeUtil[j1][j2]
+}
+
+// Assign maps application i of string k onto machine j, updating machine and
+// route utilizations and rosters. Assigning an already-assigned application
+// is a programming error and panics; use Unassign first.
+func (a *Allocation) Assign(k, i, j int) {
+	if a.machineOf[k][i] != Unassigned {
+		panic(fmt.Sprintf("feasibility: application (%d,%d) already assigned to machine %d", k, i, a.machineOf[k][i]))
+	}
+	if j < 0 || j >= a.sys.Machines {
+		panic(fmt.Sprintf("feasibility: machine %d out of range [0,%d)", j, a.sys.Machines))
+	}
+	s := &a.sys.Strings[k]
+	a.machineOf[k][i] = j
+	a.nAssigned[k]++
+	a.machineUtil[j] += a.sys.MachineDemandUtil(k, i, j)
+	a.perMachine[j] = append(a.perMachine[j], appRef{k, i})
+	if i > 0 {
+		if prev := a.machineOf[k][i-1]; prev != Unassigned {
+			a.addRoute(prev, j, k, i-1)
+		}
+	}
+	if i < len(s.Apps)-1 {
+		if next := a.machineOf[k][i+1]; next != Unassigned {
+			a.addRoute(j, next, k, i)
+		}
+	}
+	if a.Complete(k) {
+		a.tightness[k] = a.computeTightness(k)
+	}
+}
+
+// Unassign removes the assignment of application i of string k.
+func (a *Allocation) Unassign(k, i int) {
+	j := a.machineOf[k][i]
+	if j == Unassigned {
+		panic(fmt.Sprintf("feasibility: application (%d,%d) is not assigned", k, i))
+	}
+	s := &a.sys.Strings[k]
+	if a.Complete(k) {
+		a.tightness[k] = math.NaN()
+	}
+	a.machineOf[k][i] = Unassigned
+	a.nAssigned[k]--
+	a.machineUtil[j] -= a.sys.MachineDemandUtil(k, i, j)
+	a.perMachine[j] = removeRef(a.perMachine[j], appRef{k, i})
+	if i > 0 {
+		if prev := a.machineOf[k][i-1]; prev != Unassigned {
+			a.removeRoute(prev, j, k, i-1)
+		}
+	}
+	if i < len(s.Apps)-1 {
+		if next := a.machineOf[k][i+1]; next != Unassigned {
+			a.removeRoute(j, next, k, i)
+		}
+	}
+}
+
+// UnassignString removes every assignment of string k.
+func (a *Allocation) UnassignString(k int) {
+	for i, j := range a.machineOf[k] {
+		if j != Unassigned {
+			a.Unassign(k, i)
+		}
+	}
+}
+
+// AssignString maps the whole of string k according to machines, which must
+// have one entry per application.
+func (a *Allocation) AssignString(k int, machines []int) {
+	if len(machines) != len(a.sys.Strings[k].Apps) {
+		panic(fmt.Sprintf("feasibility: string %d has %d applications, got %d machines",
+			k, len(a.sys.Strings[k].Apps), len(machines)))
+	}
+	for i, j := range machines {
+		a.Assign(k, i, j)
+	}
+}
+
+// StringMachines returns a copy of the machine assignment vector of string k
+// (entries are Unassigned where not yet mapped).
+func (a *Allocation) StringMachines(k int) []int {
+	return append([]int(nil), a.machineOf[k]...)
+}
+
+// addRoute records that the output of application i of string k traverses the
+// route j1 -> j2. Intra-machine transfers use no modeled route.
+func (a *Allocation) addRoute(j1, j2, k, i int) {
+	if j1 == j2 {
+		return
+	}
+	s := &a.sys.Strings[k]
+	a.routeUtil[j1][j2] += a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
+	a.perRoute[j1][j2] = append(a.perRoute[j1][j2], appRef{k, i})
+}
+
+func (a *Allocation) removeRoute(j1, j2, k, i int) {
+	if j1 == j2 {
+		return
+	}
+	s := &a.sys.Strings[k]
+	a.routeUtil[j1][j2] -= a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
+	a.perRoute[j1][j2] = removeRef(a.perRoute[j1][j2], appRef{k, i})
+}
+
+func removeRef(refs []appRef, r appRef) []appRef {
+	for idx, have := range refs {
+		if have == r {
+			last := len(refs) - 1
+			refs[idx] = refs[last]
+			return refs[:last]
+		}
+	}
+	panic(fmt.Sprintf("feasibility: roster is missing application (%d,%d)", r.k, r.i))
+}
+
+// MachineUtilizationIf returns U_machine[j, i, k]: the utilization machine j
+// would have if application i of string k were assigned to it in addition to
+// the applications already assigned (the IMR selection parameter).
+func (a *Allocation) MachineUtilizationIf(j, k, i int) float64 {
+	return a.machineUtil[j] + a.sys.MachineDemandUtil(k, i, j)
+}
+
+// RouteUtilizationIf returns U_route[j1, j2, i, k]: the utilization route
+// (j1, j2) would have if application i of string k were assigned to machine
+// j1 and passed its output to its successor on machine j2. Intra-machine
+// placements report zero.
+func (a *Allocation) RouteUtilizationIf(j1, j2, k, i int) float64 {
+	if j1 == j2 {
+		return 0
+	}
+	s := &a.sys.Strings[k]
+	return a.routeUtil[j1][j2] + a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
+}
+
+// Clone returns an independent deep copy of the allocation sharing the same
+// (immutable) system.
+func (a *Allocation) Clone() *Allocation {
+	cp := &Allocation{
+		sys:         a.sys,
+		machineOf:   make([][]int, len(a.machineOf)),
+		nAssigned:   append([]int(nil), a.nAssigned...),
+		machineUtil: append([]float64(nil), a.machineUtil...),
+		routeUtil:   make([][]float64, len(a.routeUtil)),
+		perMachine:  make([][]appRef, len(a.perMachine)),
+		perRoute:    make([][][]appRef, len(a.perRoute)),
+		tightness:   append([]float64(nil), a.tightness...),
+	}
+	for k := range a.machineOf {
+		cp.machineOf[k] = append([]int(nil), a.machineOf[k]...)
+	}
+	for j := range a.routeUtil {
+		cp.routeUtil[j] = append([]float64(nil), a.routeUtil[j]...)
+		cp.perMachine[j] = append([]appRef(nil), a.perMachine[j]...)
+		cp.perRoute[j] = make([][]appRef, len(a.perRoute[j]))
+		for j2 := range a.perRoute[j] {
+			cp.perRoute[j][j2] = append([]appRef(nil), a.perRoute[j][j2]...)
+		}
+	}
+	return cp
+}

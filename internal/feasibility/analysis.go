@@ -1,0 +1,375 @@
+package feasibility
+
+import (
+	"fmt"
+	"math"
+)
+
+// computeTightness evaluates equation (4) for a completely mapped string k:
+// the total no-sharing time for one data set to be processed by the string,
+// divided by its end-to-end latency constraint.
+func (a *Allocation) computeTightness(k int) float64 {
+	s := &a.sys.Strings[k]
+	total := 0.0
+	for i := range s.Apps {
+		m := a.machineOf[k][i]
+		total += s.Apps[i].NominalTime[m]
+		if i < len(s.Apps)-1 {
+			total += a.sys.RouteTransferSeconds(s.Apps[i].OutputKB, m, a.machineOf[k][i+1])
+		}
+	}
+	return total / s.MaxLatency
+}
+
+// Tightness returns the relative tightness T[k] (equation (4)) of string k.
+// It panics if the string is not completely mapped, because equation (4)
+// needs a machine for every application.
+func (a *Allocation) Tightness(k int) float64 {
+	if !a.Complete(k) {
+		panic(fmt.Sprintf("feasibility: tightness of incompletely mapped string %d", k))
+	}
+	return a.tightness[k]
+}
+
+// tighter reports whether string z has strictly higher execution priority
+// than string k under the local scheduling policy of Section 3: higher
+// relative tightness wins. The paper assumes distinct T values "without loss
+// of generality"; randomly generated workloads satisfy that almost surely,
+// and exact ties are broken deterministically by string ID so priorities stay
+// a strict total order.
+func (a *Allocation) tighter(z, k int) bool {
+	tz, tk := a.tightness[z], a.tightness[k]
+	if tz != tk {
+		return tz > tk
+	}
+	return z < k
+}
+
+// EstimatedCompTime returns t_comp^k[i] (equation (5)): the nominal execution
+// time of application i of string k on its assigned machine, plus the average
+// waiting time induced by applications of tighter strings sharing that
+// machine. Only completely mapped strings contribute waiting terms, since a
+// string's priority is defined by its (allocation-dependent) tightness.
+// Panics if string k is not completely mapped.
+func (a *Allocation) EstimatedCompTime(k, i int) float64 {
+	if !a.Complete(k) {
+		panic(fmt.Sprintf("feasibility: estimated computation time of incompletely mapped string %d", k))
+	}
+	s := &a.sys.Strings[k]
+	m := a.machineOf[k][i]
+	t := s.Apps[i].NominalTime[m]
+	wait := 0.0
+	for _, ref := range a.perMachine[m] {
+		if ref.k == k || !a.Complete(ref.k) || !a.tighter(ref.k, k) {
+			continue
+		}
+		z := &a.sys.Strings[ref.k]
+		app := &z.Apps[ref.i]
+		wait += app.NominalTime[m] * app.NominalUtil[m] / z.Period
+	}
+	return t + s.Period*wait
+}
+
+// EstimatedTranTime returns t_tran^k[i] (equation (6)): the nominal time to
+// transfer the output of application i of string k to its successor, plus
+// the average waiting time induced by transfers of tighter strings sharing
+// the same communication route. Intra-machine transfers take zero time.
+// Panics if string k is not completely mapped.
+func (a *Allocation) EstimatedTranTime(k, i int) float64 {
+	if !a.Complete(k) {
+		panic(fmt.Sprintf("feasibility: estimated transfer time of incompletely mapped string %d", k))
+	}
+	s := &a.sys.Strings[k]
+	j1, j2 := a.machineOf[k][i], a.machineOf[k][i+1]
+	if j1 == j2 {
+		return 0
+	}
+	t := a.sys.RouteTransferSeconds(s.Apps[i].OutputKB, j1, j2)
+	wait := 0.0
+	for _, ref := range a.perRoute[j1][j2] {
+		if ref.k == k || !a.Complete(ref.k) || !a.tighter(ref.k, k) {
+			continue
+		}
+		z := &a.sys.Strings[ref.k]
+		wait += a.sys.RouteTransferSeconds(z.Apps[ref.i].OutputKB, j1, j2) / z.Period
+	}
+	return t + s.Period*wait
+}
+
+// Violation describes why a string fails its QoS constraints (equation (1)).
+type Violation struct {
+	StringID int
+	// Kind is "throughput-comp", "throughput-tran", or "latency".
+	Kind string
+	// App is the offending application index for throughput violations
+	// (the producing application for transfer violations); -1 for latency.
+	App int
+	// Value and Bound are the measured quantity and its limit, in seconds.
+	Value, Bound float64
+}
+
+func (v Violation) Error() string {
+	switch v.Kind {
+	case "latency":
+		return fmt.Sprintf("string %d: end-to-end latency %.4gs exceeds Lmax %.4gs", v.StringID, v.Value, v.Bound)
+	case "throughput-tran":
+		return fmt.Sprintf("string %d: transfer after application %d takes %.4gs, exceeds period %.4gs", v.StringID, v.App, v.Value, v.Bound)
+	default:
+		return fmt.Sprintf("string %d: application %d computation %.4gs exceeds period %.4gs", v.StringID, v.App, v.Value, v.Bound)
+	}
+}
+
+// StringLatency returns the estimated end-to-end latency of string k under
+// the current allocation: the left side of the third constraint of equation
+// (1). Panics if string k is not completely mapped.
+func (a *Allocation) StringLatency(k int) float64 {
+	s := &a.sys.Strings[k]
+	n := len(s.Apps)
+	total := a.EstimatedCompTime(k, n-1)
+	for i := 0; i < n-1; i++ {
+		total += a.EstimatedCompTime(k, i) + a.EstimatedTranTime(k, i)
+	}
+	return total
+}
+
+// CheckString verifies the throughput and end-to-end latency constraints of
+// equation (1) for completely mapped string k, returning the first violation
+// found or nil.
+func (a *Allocation) CheckString(k int) *Violation {
+	s := &a.sys.Strings[k]
+	n := len(s.Apps)
+	latency := 0.0
+	for i := 0; i < n; i++ {
+		tc := a.EstimatedCompTime(k, i)
+		if tc > s.Period*(1+utilEps) {
+			return &Violation{StringID: k, Kind: "throughput-comp", App: i, Value: tc, Bound: s.Period}
+		}
+		latency += tc
+		if i < n-1 {
+			tt := a.EstimatedTranTime(k, i)
+			if tt > s.Period*(1+utilEps) {
+				return &Violation{StringID: k, Kind: "throughput-tran", App: i, Value: tt, Bound: s.Period}
+			}
+			latency += tt
+		}
+	}
+	if latency > s.MaxLatency*(1+utilEps) {
+		return &Violation{StringID: k, Kind: "latency", App: -1, Value: latency, Bound: s.MaxLatency}
+	}
+	return nil
+}
+
+// Stage1Feasible runs the first-stage analysis of Section 3: every machine
+// and every communication route must have overall utilization no larger than
+// one.
+func (a *Allocation) Stage1Feasible() bool {
+	for j := 0; j < a.sys.Machines; j++ {
+		if a.machineUtil[j] > 1+utilEps {
+			return false
+		}
+	}
+	for j1 := 0; j1 < a.sys.Machines; j1++ {
+		for j2 := 0; j2 < a.sys.Machines; j2++ {
+			if j1 != j2 && a.routeUtil[j1][j2] > 1+utilEps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Stage2Feasible runs the second-stage analysis of Section 3 over every
+// completely mapped string: the sharing-aware time estimates of equations (5)
+// and (6) must satisfy the QoS constraints of equation (1).
+func (a *Allocation) Stage2Feasible() bool {
+	for k := range a.sys.Strings {
+		if a.Complete(k) && a.CheckString(k) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// TwoStageFeasible runs both stages on the current mapping.
+func (a *Allocation) TwoStageFeasible() bool {
+	return a.Stage1Feasible() && a.Stage2Feasible()
+}
+
+// Violations collects every constraint violation over completely mapped
+// strings, for diagnostics; an empty slice means stage 2 passes.
+func (a *Allocation) Violations() []Violation {
+	var out []Violation
+	for k := range a.sys.Strings {
+		if a.Complete(k) {
+			if v := a.CheckString(k); v != nil {
+				out = append(out, *v)
+			}
+		}
+	}
+	return out
+}
+
+// FeasibleAfterAdding reruns the two-stage analysis assuming the mapping was
+// feasible before string k was (completely) assigned. Only resources and
+// strings string k can affect are rechecked:
+//
+//   - first stage: the machines and routes string k uses;
+//   - second stage: string k itself, plus every completely mapped string with
+//     lower priority than k that shares a machine or a route with k (tighter
+//     strings are unaffected because waiting terms only flow downward in
+//     priority).
+//
+// The result equals TwoStageFeasible given the precondition; a property test
+// enforces that equivalence.
+func (a *Allocation) FeasibleAfterAdding(k int) bool {
+	if !a.Complete(k) {
+		panic(fmt.Sprintf("feasibility: FeasibleAfterAdding on incompletely mapped string %d", k))
+	}
+	s := &a.sys.Strings[k]
+	n := len(s.Apps)
+	// Stage 1 on touched resources.
+	for i := 0; i < n; i++ {
+		m := a.machineOf[k][i]
+		if a.machineUtil[m] > 1+utilEps {
+			return false
+		}
+		if i < n-1 {
+			j1, j2 := m, a.machineOf[k][i+1]
+			if j1 != j2 && a.routeUtil[j1][j2] > 1+utilEps {
+				return false
+			}
+		}
+	}
+	// Stage 2 on string k itself.
+	if a.CheckString(k) != nil {
+		return false
+	}
+	// Stage 2 on lower-priority strings sharing a resource with k.
+	affected := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		m := a.machineOf[k][i]
+		for _, ref := range a.perMachine[m] {
+			if ref.k != k {
+				affected[ref.k] = true
+			}
+		}
+		if i < n-1 {
+			j1, j2 := m, a.machineOf[k][i+1]
+			if j1 != j2 {
+				for _, ref := range a.perRoute[j1][j2] {
+					if ref.k != k {
+						affected[ref.k] = true
+					}
+				}
+			}
+		}
+	}
+	for z := range affected {
+		if !a.Complete(z) || a.tighter(z, k) {
+			continue // tighter strings cannot be slowed by k
+		}
+		if a.CheckString(z) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Slackness returns Λ (equation (7)): the minimum remaining utilization
+// capacity across all machines and all inter-machine communication routes.
+// It quantifies the system's potential to absorb unpredictable increases in
+// input workload. An empty system has slackness 1.
+func (a *Allocation) Slackness() float64 {
+	min := 1.0
+	for j := 0; j < a.sys.Machines; j++ {
+		if s := 1 - a.machineUtil[j]; s < min {
+			min = s
+		}
+	}
+	for j1 := 0; j1 < a.sys.Machines; j1++ {
+		for j2 := 0; j2 < a.sys.Machines; j2++ {
+			if j1 == j2 {
+				continue
+			}
+			if s := 1 - a.routeUtil[j1][j2]; s < min {
+				min = s
+			}
+		}
+	}
+	return min
+}
+
+// Metric is the two-component performance measure of Section 4: total worth
+// of the feasibly allocated strings (primary) and system slackness
+// (secondary).
+type Metric struct {
+	Worth     float64
+	Slackness float64
+}
+
+// Better reports whether m beats other lexicographically: higher worth wins;
+// equal worth falls through to higher slackness.
+func (m Metric) Better(other Metric) bool {
+	if m.Worth != other.Worth {
+		return m.Worth > other.Worth
+	}
+	return m.Slackness > other.Slackness
+}
+
+// Metric evaluates the allocation's performance over the completely mapped
+// strings. Callers are responsible for only leaving strings mapped that
+// passed the two-stage analysis (the heuristics guarantee this).
+func (a *Allocation) Metric() Metric {
+	worth := 0.0
+	for k := range a.sys.Strings {
+		if a.Complete(k) {
+			worth += a.sys.Strings[k].Worth
+		}
+	}
+	return Metric{Worth: worth, Slackness: a.Slackness()}
+}
+
+// MaxUtilization returns the highest utilization over all machines and
+// routes; 1 - MaxUtilization equals Slackness.
+func (a *Allocation) MaxUtilization() float64 { return 1 - a.Slackness() }
+
+// checkInvariants recomputes all bookkeeping from scratch and compares it to
+// the incremental state; used by tests.
+func (a *Allocation) checkInvariants() error {
+	fresh := New(a.sys)
+	for k := range a.machineOf {
+		for i, j := range a.machineOf[k] {
+			if j != Unassigned {
+				fresh.Assign(k, i, j)
+			}
+		}
+	}
+	for j := 0; j < a.sys.Machines; j++ {
+		if math.Abs(fresh.machineUtil[j]-a.machineUtil[j]) > 1e-6 {
+			return fmt.Errorf("machine %d utilization drifted: incremental %v, fresh %v", j, a.machineUtil[j], fresh.machineUtil[j])
+		}
+		if len(fresh.perMachine[j]) != len(a.perMachine[j]) {
+			return fmt.Errorf("machine %d roster drifted: incremental %d, fresh %d", j, len(a.perMachine[j]), len(fresh.perMachine[j]))
+		}
+		for j2 := 0; j2 < a.sys.Machines; j2++ {
+			if j == j2 {
+				continue
+			}
+			if math.Abs(fresh.routeUtil[j][j2]-a.routeUtil[j][j2]) > 1e-6 {
+				return fmt.Errorf("route (%d,%d) utilization drifted: incremental %v, fresh %v", j, j2, a.routeUtil[j][j2], fresh.routeUtil[j][j2])
+			}
+			if len(fresh.perRoute[j][j2]) != len(a.perRoute[j][j2]) {
+				return fmt.Errorf("route (%d,%d) roster drifted", j, j2)
+			}
+		}
+	}
+	for k := range a.tightness {
+		if fresh.Complete(k) != a.Complete(k) {
+			return fmt.Errorf("string %d completeness drifted", k)
+		}
+		if a.Complete(k) && math.Abs(fresh.tightness[k]-a.tightness[k]) > 1e-9 {
+			return fmt.Errorf("string %d tightness drifted: incremental %v, fresh %v", k, a.tightness[k], fresh.tightness[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/feasibility"
+	"repro/internal/model"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// balancedPair: two single-application strings of identical heavy demand on a
+// two-machine system. The IMR must spread them across machines.
+func TestIMRBalancesLoad(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	for k := 0; k < 2; k++ {
+		sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 100,
+			Apps: []model.Application{model.UniformApp(2, 5, 1, 10)}})
+	}
+	a := feasibility.New(sys)
+	MapStringIMR(a, 0)
+	MapStringIMR(a, 1)
+	if a.Machine(0, 0) == a.Machine(1, 0) {
+		t.Errorf("IMR stacked both heavy applications on machine %d", a.Machine(0, 0))
+	}
+}
+
+// TestIMRPrefersFasterMachine: a heterogeneous app should land on the machine
+// where its utilization demand is lowest when both are empty.
+func TestIMRPrefersFasterMachine(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 100,
+		Apps: []model.Application{{
+			NominalTime: []float64{8, 2},
+			NominalUtil: []float64{1, 1},
+			OutputKB:    10,
+		}}})
+	a := feasibility.New(sys)
+	MapStringIMR(a, 0)
+	if got := a.Machine(0, 0); got != 1 {
+		t.Errorf("IMR chose machine %d, want 1 (demand 0.2 vs 0.8)", got)
+	}
+}
+
+// TestIMRColocatesHeavyTransfers: with a starving network, consecutive
+// applications should co-locate (intra-machine routes are free).
+func TestIMRColocatesHeavyTransfers(t *testing.T) {
+	sys := model.NewUniformSystem(4, 0.001) // nearly no bandwidth
+	for j1 := range sys.Bandwidth {
+		for j2 := range sys.Bandwidth[j1] {
+			if j1 != j2 {
+				sys.Bandwidth[j1][j2] = 0.001
+			}
+		}
+	}
+	apps := make([]model.Application, 5)
+	for i := range apps {
+		apps[i] = model.UniformApp(4, 2, 0.5, 1000) // 1 MB outputs
+	}
+	sys.AddString(model.AppString{Worth: 10, Period: 20, MaxLatency: 1000, Apps: apps})
+	a := feasibility.New(sys)
+	MapStringIMR(a, 0)
+	first := a.Machine(0, 0)
+	for i := 1; i < 5; i++ {
+		if a.Machine(0, i) != first {
+			t.Fatalf("application %d on machine %d, want co-located on %d", i, a.Machine(0, i), first)
+		}
+	}
+}
+
+// TestIMRAssignsEveryApplication over random strings, including the
+// contiguous-region extension in both directions.
+func TestIMRAssignsEveryApplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		sys := model.NewUniformSystem(1+rng.Intn(6), 1+9*rng.Float64())
+		n := 1 + rng.Intn(10)
+		apps := make([]model.Application, n)
+		for i := range apps {
+			apps[i] = model.Application{
+				NominalTime: make([]float64, sys.Machines),
+				NominalUtil: make([]float64, sys.Machines),
+				OutputKB:    10 + 90*rng.Float64(),
+			}
+			for j := 0; j < sys.Machines; j++ {
+				apps[i].NominalTime[j] = 1 + 9*rng.Float64()
+				apps[i].NominalUtil[j] = 0.1 + 0.9*rng.Float64()
+			}
+		}
+		sys.AddString(model.AppString{Worth: 1, Period: 30, MaxLatency: 200, Apps: apps})
+		a := feasibility.New(sys)
+		MapStringIMR(a, 0)
+		if !a.Complete(0) {
+			t.Fatalf("trial %d: IMR left string incomplete", trial)
+		}
+		for i := 0; i < n; i++ {
+			if m := a.Machine(0, i); m < 0 || m >= sys.Machines {
+				t.Fatalf("trial %d: application %d on invalid machine %d", trial, i, m)
+			}
+		}
+	}
+}
+
+// TestIMRStartsFromMostIntensive: the most computationally intensive
+// application (by machine-averaged work) is placed first, on the least
+// utilized machine.
+func TestIMRStartsFromMostIntensive(t *testing.T) {
+	sys := model.NewUniformSystem(3, 5)
+	// Preload machine 0 and 1 so only machine 2 is empty.
+	sys.AddString(model.AppString{Worth: 1, Period: 10, MaxLatency: 100,
+		Apps: []model.Application{model.UniformApp(3, 4, 1, 10)}})
+	sys.AddString(model.AppString{Worth: 1, Period: 10, MaxLatency: 100,
+		Apps: []model.Application{model.UniformApp(3, 3, 1, 10)}})
+	// Target string: middle application is the most intensive.
+	sys.AddString(model.AppString{Worth: 1, Period: 10, MaxLatency: 100,
+		Apps: []model.Application{
+			model.UniformApp(3, 1, 0.5, 1),
+			model.UniformApp(3, 9, 1, 1),
+			model.UniformApp(3, 1, 0.5, 1),
+		}})
+	a := feasibility.New(sys)
+	a.Assign(0, 0, 0)
+	a.Assign(1, 0, 1)
+	MapStringIMR(a, 2)
+	if got := a.Machine(2, 1); got != 2 {
+		t.Errorf("most intensive application on machine %d, want the empty machine 2", got)
+	}
+}
+
+func TestOrders(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	add := func(worth, period, lmax, tSec float64) {
+		sys.AddString(model.AppString{Worth: worth, Period: period, MaxLatency: lmax,
+			Apps: []model.Application{model.UniformApp(2, tSec, 0.5, 10)}})
+	}
+	add(10, 10, 100, 5) // k=0: medium worth, tightness 0.05
+	add(100, 10, 10, 5) // k=1: high worth, tightness 0.5
+	add(1, 10, 1.9, 1)  // k=2: low worth, tightness 1/1.9 ~ 0.526
+	mwf := MWFOrder(sys)
+	if mwf[0] != 1 || mwf[1] != 0 || mwf[2] != 2 {
+		t.Errorf("MWFOrder = %v, want [1 0 2]", mwf)
+	}
+	tf := TFOrder(sys)
+	if tf[0] != 2 || tf[1] != 1 || tf[2] != 0 {
+		t.Errorf("TFOrder = %v, want [2 1 0]", tf)
+	}
+}
+
+// easySystem: everything fits comfortably.
+func easySystem() *model.System {
+	sys := model.NewUniformSystem(3, 10)
+	for k := 0; k < 4; k++ {
+		sys.AddString(model.AppString{Worth: []float64{1, 10, 100, 10}[k], Period: 50, MaxLatency: 500,
+			Apps: []model.Application{
+				model.UniformApp(3, 2, 0.4, 20),
+				model.UniformApp(3, 3, 0.4, 20),
+			}})
+	}
+	return sys
+}
+
+func TestMWFMapsEverythingWhenEasy(t *testing.T) {
+	r := MWF(easySystem())
+	if r.NumMapped != 4 {
+		t.Fatalf("mapped %d of 4 strings; violations possible: %+v", r.NumMapped, r.Alloc.Violations())
+	}
+	if !approx(r.Metric.Worth, 121, 1e-9) {
+		t.Errorf("worth = %v, want 121", r.Metric.Worth)
+	}
+	if r.Name != "MWF" || r.Evaluations != 1 {
+		t.Errorf("result metadata wrong: %+v", r)
+	}
+	if !r.Alloc.TwoStageFeasible() {
+		t.Error("final mapping must be feasible")
+	}
+}
+
+// TestMapSequenceStopsAtFirstFailure: the sequential mapper must terminate at
+// the first infeasible string (paper semantics), not skip it.
+func TestMapSequenceStopsAtFirstFailure(t *testing.T) {
+	sys := model.NewUniformSystem(2, 10)
+	ok := model.AppString{Worth: 10, Period: 50, MaxLatency: 500,
+		Apps: []model.Application{model.UniformApp(2, 2, 0.4, 20)}}
+	bad := model.AppString{Worth: 10, Period: 1, MaxLatency: 500, // comp 8 s > period 1 s: infeasible alone
+		Apps: []model.Application{model.UniformApp(2, 8, 0.9, 20)}}
+	sys.AddString(ok)  // k=0
+	sys.AddString(bad) // k=1
+	sys.AddString(ok)  // k=2
+	r := MapSequence(sys, []int{0, 1, 2})
+	if !r.Mapped[0] || r.Mapped[1] || r.Mapped[2] {
+		t.Fatalf("mapped flags = %v, want [true false false] (terminate at first failure)", r.Mapped)
+	}
+	if r.NumMapped != 1 {
+		t.Errorf("NumMapped = %d, want 1", r.NumMapped)
+	}
+	// The failed string must be fully rolled back.
+	for i := range sys.Strings[1].Apps {
+		if r.Alloc.Machine(1, i) != feasibility.Unassigned {
+			t.Error("failed string not rolled back")
+		}
+	}
+	// A permutation pushing the bad string last maps both good strings.
+	r2 := MapSequence(sys, []int{0, 2, 1})
+	if r2.NumMapped != 2 {
+		t.Errorf("reordered NumMapped = %d, want 2", r2.NumMapped)
+	}
+}
+
+func testPSGConfig(seed int64) PSGConfig {
+	cfg := DefaultPSGConfig()
+	cfg.PopulationSize = 30
+	cfg.MaxIterations = 150
+	cfg.StallLimit = 60
+	cfg.Trials = 1
+	cfg.Seed = seed
+	return cfg
+}
+
+// TestSeededPSGDominatesOneShotHeuristics: because the MWF and TF orderings
+// seed the initial population and GENITOR is elitist, Seeded PSG can never do
+// worse than either one-shot heuristic. This must hold on arbitrary systems.
+func TestSeededPSGDominatesOneShotHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		sys := randomTestSystem(rng, 3, 8)
+		mwf, tf := MWF(sys), TF(sys)
+		sp := SeededPSG(sys, testPSGConfig(int64(trial)))
+		for _, base := range []*Result{mwf, tf} {
+			if base.Metric.Better(sp.Metric) {
+				t.Errorf("trial %d: %s %+v beats SeededPSG %+v", trial, base.Name, base.Metric, sp.Metric)
+			}
+		}
+		if sp.Name != "SeededPSG" {
+			t.Errorf("name = %q", sp.Name)
+		}
+	}
+}
+
+// TestPSGFindsBetterOrdering: construct a system where the natural orders are
+// suboptimal — a poison string that blocks the sequence when mapped early —
+// and check PSG recovers more worth than MWF.
+func TestPSGFindsBetterOrdering(t *testing.T) {
+	sys := model.NewUniformSystem(2, 10)
+	// Poison: highest worth but infeasible alone, so MWF maps nothing.
+	sys.AddString(model.AppString{Worth: 100, Period: 1, MaxLatency: 1,
+		Apps: []model.Application{model.UniformApp(2, 9, 0.9, 10)}})
+	for k := 0; k < 5; k++ {
+		sys.AddString(model.AppString{Worth: 10, Period: 50, MaxLatency: 500,
+			Apps: []model.Application{model.UniformApp(2, 2, 0.3, 10)}})
+	}
+	mwf := MWF(sys)
+	if mwf.Metric.Worth != 0 {
+		t.Fatalf("test premise broken: MWF worth = %v, want 0", mwf.Metric.Worth)
+	}
+	psg := PSG(sys, testPSGConfig(9))
+	if psg.Metric.Worth != 50 {
+		t.Errorf("PSG worth = %v, want 50 (all five feasible strings)", psg.Metric.Worth)
+	}
+	if psg.Iterations == 0 || psg.Evaluations == 0 || psg.StopReason == "" {
+		t.Errorf("PSG stats not recorded: %+v", psg)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	sys := easySystem()
+	cfg := testPSGConfig(1)
+	for _, name := range Names {
+		r := Run(name, sys, cfg)
+		if r.Name != name {
+			t.Errorf("Run(%q) produced %q", name, r.Name)
+		}
+		if r.Metric.Worth != 121 {
+			t.Errorf("%s worth = %v, want 121 on the easy system", name, r.Metric.Worth)
+		}
+	}
+	mustPanic(t, func() { Run("nope", sys, cfg) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+// TestPSGTrials: more trials never hurt (best-of is monotone in trials with
+// nested seeds... trials use distinct seeds, so just check it runs and picks
+// a best).
+func TestPSGTrials(t *testing.T) {
+	sys := easySystem()
+	cfg := testPSGConfig(5)
+	cfg.Trials = 3
+	r := PSG(sys, cfg)
+	if r.Metric.Worth != 121 {
+		t.Errorf("worth = %v, want 121", r.Metric.Worth)
+	}
+	cfg.Trials = 0 // must be clamped to 1
+	r = PSG(sys, cfg)
+	if r.Metric.Worth != 121 {
+		t.Errorf("worth with clamped trials = %v, want 121", r.Metric.Worth)
+	}
+}
+
+// TestHeuristicResultsAreFeasible: every heuristic's final mapping passes the
+// two-stage analysis on random systems, and worth equals the sum of mapped
+// strings' worths.
+func TestHeuristicResultsAreFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cfg := testPSGConfig(3)
+	for trial := 0; trial < 4; trial++ {
+		sys := randomTestSystem(rng, 3, 10)
+		for _, name := range Names {
+			r := Run(name, sys, cfg)
+			if !r.Alloc.TwoStageFeasible() {
+				t.Errorf("trial %d: %s produced an infeasible mapping", trial, name)
+			}
+			worth := 0.0
+			for k, ok := range r.Mapped {
+				if ok {
+					worth += sys.Strings[k].Worth
+					if !r.Alloc.Complete(k) {
+						t.Errorf("trial %d: %s marked string %d mapped but it is incomplete", trial, name, k)
+					}
+				} else if r.Alloc.Complete(k) {
+					t.Errorf("trial %d: %s left unmapped string %d assigned", trial, name, k)
+				}
+			}
+			if !approx(worth, r.Metric.Worth, 1e-9) {
+				t.Errorf("trial %d: %s worth %v != mapped sum %v", trial, name, r.Metric.Worth, worth)
+			}
+		}
+	}
+}
+
+func randomTestSystem(rng *rand.Rand, machines, strings int) *model.System {
+	sys := model.NewUniformSystem(machines, 0)
+	for j1 := 0; j1 < machines; j1++ {
+		for j2 := 0; j2 < machines; j2++ {
+			if j1 != j2 {
+				sys.Bandwidth[j1][j2] = 1 + 9*rng.Float64()
+			}
+		}
+	}
+	for k := 0; k < strings; k++ {
+		n := 1 + rng.Intn(5)
+		apps := make([]model.Application, n)
+		for i := range apps {
+			apps[i] = model.Application{
+				NominalTime: make([]float64, machines),
+				NominalUtil: make([]float64, machines),
+				OutputKB:    10 + 90*rng.Float64(),
+			}
+			for j := 0; j < machines; j++ {
+				apps[i].NominalTime[j] = 1 + 9*rng.Float64()
+				apps[i].NominalUtil[j] = 0.1 + 0.9*rng.Float64()
+			}
+		}
+		sys.AddString(model.AppString{
+			Worth:      []float64{1, 10, 100}[rng.Intn(3)],
+			Period:     15 + 30*rng.Float64(),
+			MaxLatency: 20 + 80*rng.Float64(),
+			Apps:       apps,
+		})
+	}
+	return sys
+}

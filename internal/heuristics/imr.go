@@ -1,0 +1,109 @@
+// Package heuristics implements the four resource-allocation heuristics of
+// Section 5 of Shestak et al. (IPPS 2005) — Most Worth First (MWF), Tightest
+// First (TF), the Permutation-Space GENITOR-based heuristic (PSG), and the
+// Seeded PSG — together with the Incremental Mapping Routine (IMR) they all
+// share for translating an ordering of strings (a point in the permutation
+// space) into an application-to-machine mapping (a point in the solution
+// space).
+package heuristics
+
+import (
+	"repro/internal/feasibility"
+)
+
+// MapStringIMR runs the Incremental Mapping Routine on string k, assigning
+// every application of the string to a machine in the given allocation. The
+// IMR is a greedy mapper: it starts from the most computationally intensive
+// application (largest machine-averaged work over the period, step 1), then
+// repeatedly finds the next most intensive unassigned application and maps
+// all intermediate applications toward it, choosing for each application the
+// machine that minimizes the larger of the affected machine utilization and
+// the affected route utilization (steps 2–4). Ties break toward the lowest
+// machine index ("broken arbitrarily" in the paper, deterministic here).
+//
+// The routine performs no feasibility checking; callers apply the two-stage
+// analysis afterwards and roll back with UnassignString on failure.
+func MapStringIMR(a *feasibility.Allocation, k int) {
+	sys := a.System()
+	s := &sys.Strings[k]
+	n := len(s.Apps)
+
+	// Machine-averaged intensity t_av[i]*u_av[i]/P[k]; the period is constant
+	// within the string, so the raw averaged work preserves the argmax.
+	intensity := make([]float64, n)
+	for i := 0; i < n; i++ {
+		intensity[i] = sys.AvgWork(k, i)
+	}
+	assigned := make([]bool, n)
+
+	mostIntensiveUnassigned := func() int {
+		best, bestVal := -1, -1.0
+		for i := 0; i < n; i++ {
+			if !assigned[i] && intensity[i] > bestVal {
+				best, bestVal = i, intensity[i]
+			}
+		}
+		return best
+	}
+
+	// Step 1-2: place the single most intensive application on the machine
+	// with the smallest resulting utilization.
+	first := mostIntensiveUnassigned()
+	bestJ, bestU := 0, a.MachineUtilizationIf(0, k, first)
+	for j := 1; j < sys.Machines; j++ {
+		if u := a.MachineUtilizationIf(j, k, first); u < bestU {
+			bestJ, bestU = j, u
+		}
+	}
+	a.Assign(k, first, bestJ)
+	assigned[first] = true
+
+	// Steps 3-4: D = [iLeft, iRight] is the contiguous assigned region;
+	// extend it toward each successive most-intensive unassigned target.
+	iLeft, iRight := first, first
+	for iRight-iLeft+1 < n {
+		target := mostIntensiveUnassigned()
+		for target > iRight {
+			iRight++
+			prev := a.Machine(k, iRight-1)
+			bestJ := argminMaxUtil(a, k, iRight, func(j int) float64 {
+				// Route carrying O[iRight-1] from the predecessor to j.
+				return a.RouteUtilizationIf(prev, j, k, iRight-1)
+			})
+			a.Assign(k, iRight, bestJ)
+			assigned[iRight] = true
+		}
+		for target < iLeft {
+			iLeft--
+			next := a.Machine(k, iLeft+1)
+			bestJ := argminMaxUtil(a, k, iLeft, func(j int) float64 {
+				// Route carrying O[iLeft] from j to the successor.
+				return a.RouteUtilizationIf(j, next, k, iLeft)
+			})
+			a.Assign(k, iLeft, bestJ)
+			assigned[iLeft] = true
+		}
+	}
+}
+
+// argminMaxUtil selects the machine minimizing
+// max(U_machine[j, i, k], routeIf(j)), the IMR candidate-selection parameter.
+func argminMaxUtil(a *feasibility.Allocation, k, i int, routeIf func(j int) float64) int {
+	sys := a.System()
+	bestJ := 0
+	bestVal := maxf(a.MachineUtilizationIf(0, k, i), routeIf(0))
+	for j := 1; j < sys.Machines; j++ {
+		v := maxf(a.MachineUtilizationIf(j, k, i), routeIf(j))
+		if v < bestVal {
+			bestJ, bestVal = j, v
+		}
+	}
+	return bestJ
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

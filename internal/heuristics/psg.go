@@ -1,0 +1,112 @@
+package heuristics
+
+import (
+	"repro/internal/genitor"
+	"repro/internal/model"
+)
+
+// PSGConfig parameterizes the Permutation-Space GENITOR heuristic. Trials is
+// the number of independent GENITOR runs (distinct starting points in the
+// permutation space) whose best result is reported; the paper used four.
+type PSGConfig struct {
+	genitor.Config
+	Trials int
+}
+
+// DefaultPSGConfig returns the paper's PSG parameters: population 250, bias
+// 1.6, 5,000 iterations, 300-iteration elite stall, four trials.
+func DefaultPSGConfig() PSGConfig {
+	return PSGConfig{Config: genitor.DefaultConfig(), Trials: 4}
+}
+
+// decodeFitness evaluates a permutation chromosome with the two-component
+// metric of Section 4 as a lexicographic fitness.
+func decodeFitness(sys *model.System) genitor.Evaluator {
+	return func(perm []int) genitor.Fitness {
+		m := MapSequence(sys, perm).Metric
+		return genitor.Fitness{Primary: m.Worth, Secondary: m.Slackness}
+	}
+}
+
+// psgRun executes the GENITOR search over the permutation space with the
+// given seed chromosomes and returns the decoded best mapping.
+func psgRun(sys *model.System, cfg PSGConfig, seeds [][]int, name string) *Result {
+	if cfg.Trials < 1 {
+		cfg.Trials = 1
+	}
+	var best *Result
+	totalEvals, totalIters := 0, 0
+	stopReason := ""
+	for trial := 0; trial < cfg.Trials; trial++ {
+		gcfg := cfg.Config
+		gcfg.Seed = cfg.Seed + int64(trial)*1000003
+		eng, err := genitor.New(gcfg, len(sys.Strings), seeds, decodeFitness(sys))
+		if err != nil {
+			panic("heuristics: " + err.Error()) // configuration bug, not input data
+		}
+		perm, _, stats := eng.Run()
+		r := MapSequence(sys, perm)
+		totalEvals += stats.Evaluations
+		totalIters += stats.Iterations
+		if best == nil || r.Metric.Better(best.Metric) {
+			best = r
+			stopReason = stats.StopReason
+		}
+	}
+	best.Name = name
+	best.Evaluations = totalEvals
+	best.Iterations = totalIters
+	best.StopReason = stopReason
+	return best
+}
+
+// PSG runs the Permutation-Space GENITOR-based heuristic: GENITOR search over
+// string orderings, each ordering projected to the solution space by the IMR,
+// with fitness given by the two-component performance metric. The initial
+// population is entirely random.
+func PSG(sys *model.System, cfg PSGConfig) *Result {
+	return psgRun(sys, cfg, nil, "PSG")
+}
+
+// SeededPSG runs PSG with the MWF and TF orderings included in the initial
+// population; all other operations and stopping conditions are identical.
+func SeededPSG(sys *model.System, cfg PSGConfig) *Result {
+	seeds := [][]int{MWFOrder(sys), TFOrder(sys)}
+	return psgRun(sys, cfg, seeds, "SeededPSG")
+}
+
+// Names lists the paper's four heuristics, in the order the figures report
+// them. AllNames additionally includes the extensions implemented in this
+// repository: the solution-space GA baseline (SSG) and the alternate worth
+// scheme (ClassedPSG).
+var (
+	Names    = []string{"PSG", "MWF", "TF", "SeededPSG"}
+	AllNames = []string{"PSG", "MWF", "TF", "SeededPSG", "SSG", "ClassedPSG"}
+)
+
+// Run dispatches a heuristic by name. PSG configuration applies to the
+// GENITOR-based variants (the SSG baseline reuses its budget fields).
+func Run(name string, sys *model.System, cfg PSGConfig) *Result {
+	switch name {
+	case "MWF":
+		return MWF(sys)
+	case "TF":
+		return TF(sys)
+	case "PSG":
+		return PSG(sys, cfg)
+	case "SeededPSG":
+		return SeededPSG(sys, cfg)
+	case "ClassedPSG":
+		return ClassedPSG(sys, cfg)
+	case "SSG":
+		return SSG(sys, SSGConfig{
+			PopulationSize: cfg.PopulationSize,
+			Bias:           cfg.Bias,
+			MaxIterations:  cfg.MaxIterations,
+			StallLimit:     cfg.StallLimit,
+			Seed:           cfg.Seed,
+		})
+	default:
+		panic("heuristics: unknown heuristic " + name)
+	}
+}

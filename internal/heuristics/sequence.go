@@ -1,0 +1,139 @@
+package heuristics
+
+import (
+	"sort"
+
+	"repro/internal/feasibility"
+	"repro/internal/model"
+)
+
+// Result is the outcome of running a mapping heuristic on a system.
+type Result struct {
+	// Name of the heuristic that produced the result.
+	Name string
+	// Alloc is the final allocation; exactly the strings with Mapped[k]
+	// true are assigned in it.
+	Alloc *feasibility.Allocation
+	// Mapped[k] reports whether string k is part of the final feasible
+	// mapping.
+	Mapped []bool
+	// Order is the string permutation the sequential mapper followed.
+	Order []int
+	// NumMapped is the number of strings in the final mapping.
+	NumMapped int
+	// Metric is the two-component performance measure (total worth,
+	// system slackness) of the final mapping.
+	Metric feasibility.Metric
+	// Evaluations counts permutation decodings performed (1 for the
+	// one-shot heuristics; population work for the PSG variants).
+	Evaluations int
+	// Iterations and StopReason describe the GENITOR run for the PSG
+	// variants; zero-valued otherwise.
+	Iterations int
+	StopReason string
+}
+
+// MapSequence translates a permutation of string indices into a mapping by
+// applying the IMR to one string at a time in the given order, running the
+// two-stage feasibility analysis after each string. Following the MWF/TF/PSG
+// semantics of Section 5, the first string whose addition makes the
+// intermediate mapping infeasible is rolled back and the mapping process
+// terminates, so only a prefix of the order is mapped.
+func MapSequence(sys *model.System, order []int) *Result {
+	a := feasibility.New(sys)
+	mapped := make([]bool, len(sys.Strings))
+	numMapped := 0
+	for _, k := range order {
+		MapStringIMR(a, k)
+		if !a.FeasibleAfterAdding(k) {
+			a.UnassignString(k)
+			break
+		}
+		mapped[k] = true
+		numMapped++
+	}
+	return &Result{
+		Alloc:       a,
+		Mapped:      mapped,
+		Order:       append([]int(nil), order...),
+		NumMapped:   numMapped,
+		Metric:      a.Metric(),
+		Evaluations: 1,
+	}
+}
+
+// MapSequenceSkip is an extension of MapSequence with skip-on-failure
+// termination semantics: a string whose addition makes the intermediate
+// mapping infeasible is rolled back and *skipped*, and mapping continues with
+// the rest of the order. The paper's heuristics terminate at the first
+// failure; the TerminationStudy ablation (DESIGN.md E11) quantifies how much
+// worth that sacrifices.
+func MapSequenceSkip(sys *model.System, order []int) *Result {
+	a := feasibility.New(sys)
+	mapped := make([]bool, len(sys.Strings))
+	numMapped := 0
+	for _, k := range order {
+		MapStringIMR(a, k)
+		if !a.FeasibleAfterAdding(k) {
+			a.UnassignString(k)
+			continue
+		}
+		mapped[k] = true
+		numMapped++
+	}
+	return &Result{
+		Alloc:       a,
+		Mapped:      mapped,
+		Order:       append([]int(nil), order...),
+		NumMapped:   numMapped,
+		Metric:      a.Metric(),
+		Evaluations: 1,
+	}
+}
+
+// MWFOrder returns the Most Worth First permutation: strings ranked by worth,
+// highest first, ties broken by string index for determinism.
+func MWFOrder(sys *model.System) []int {
+	order := identity(len(sys.Strings))
+	sort.SliceStable(order, func(x, y int) bool {
+		return sys.Strings[order[x]].Worth > sys.Strings[order[y]].Worth
+	})
+	return order
+}
+
+// TFOrder returns the Tightest First permutation: strings ranked by the
+// allocation-independent averaged relative tightness (equation (4) with all
+// allocation-specific terms replaced by machine averages), tightest first.
+func TFOrder(sys *model.System) []int {
+	tight := make([]float64, len(sys.Strings))
+	for k := range sys.Strings {
+		tight[k] = sys.AvgTightness(k)
+	}
+	order := identity(len(sys.Strings))
+	sort.SliceStable(order, func(x, y int) bool {
+		return tight[order[x]] > tight[order[y]]
+	})
+	return order
+}
+
+// MWF runs the Most Worth First heuristic of Section 5.
+func MWF(sys *model.System) *Result {
+	r := MapSequence(sys, MWFOrder(sys))
+	r.Name = "MWF"
+	return r
+}
+
+// TF runs the Tightest First heuristic of Section 5.
+func TF(sys *model.System) *Result {
+	r := MapSequence(sys, TFOrder(sys))
+	r.Name = "TF"
+	return r
+}
+
+func identity(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}

@@ -1,0 +1,254 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/feasibility"
+	"repro/internal/model"
+)
+
+// Solution-Space GA (SSG): the baseline the paper dismisses in Section 5 —
+// "It was observed experimentally a genetic algorithm [30], operating in the
+// solution space, failed to find any feasible allocation even for a
+// relatively small set of strings in the reasonable amount of time.
+// Therefore, the ... heuristics presented in this section search over the
+// permutation space instead."
+//
+// This implementation reproduces that observation (experiment E10 in
+// DESIGN.md). A chromosome assigns a machine to every application directly
+// (the solution space). Because almost all such assignments violate the
+// two-stage analysis, raw fitness would be zero everywhere and the search
+// would see no gradient; to give the baseline its best shot, decoding applies
+// a greedy repair that unmaps the least-worth offending string until the
+// remaining mapping passes both stages, and fitness is the repaired mapping's metric.
+// Even with repair, SSG trails the permutation-space heuristics badly at
+// equal evaluation budgets — the paper's conclusion.
+
+// SSGConfig parameterizes the solution-space GA. It mirrors the GENITOR
+// parameters so budgets are comparable with PSG.
+type SSGConfig struct {
+	PopulationSize int
+	Bias           float64
+	MaxIterations  int
+	StallLimit     int
+	Seed           int64
+}
+
+// DefaultSSGConfig matches the PSG defaults.
+func DefaultSSGConfig() SSGConfig {
+	return SSGConfig{PopulationSize: 250, Bias: 1.6, MaxIterations: 5000, StallLimit: 300}
+}
+
+// DecodeAssignment maps every application according to genes (one machine
+// index per application, strings concatenated in order), then repairs the
+// mapping by unmapping offending strings — lowest worth first, ties to the
+// lowest ID — until the two-stage analysis passes. It returns the repaired
+// result; Result.Order is nil because no string ordering exists in the
+// solution space.
+func DecodeAssignment(sys *model.System, genes []int) *Result {
+	a := feasibility.New(sys)
+	idx := 0
+	for k := range sys.Strings {
+		for i := range sys.Strings[k].Apps {
+			a.Assign(k, i, genes[idx])
+			idx++
+		}
+	}
+	mapped := make([]bool, len(sys.Strings))
+	for k := range mapped {
+		mapped[k] = true
+	}
+	numMapped := len(sys.Strings)
+	for {
+		victim := pickRepairVictim(a, mapped)
+		if victim < 0 {
+			break
+		}
+		a.UnassignString(victim)
+		mapped[victim] = false
+		numMapped--
+	}
+	return &Result{
+		Name:        "SSG",
+		Alloc:       a,
+		Mapped:      mapped,
+		NumMapped:   numMapped,
+		Metric:      a.Metric(),
+		Evaluations: 1,
+	}
+}
+
+// pickRepairVictim returns the string to unmap, or -1 if the mapping is
+// feasible. Candidates are strings with stage-2 violations plus strings
+// assigned to over-utilized machines or routes; the least-worth candidate is
+// sacrificed.
+func pickRepairVictim(a *feasibility.Allocation, mapped []bool) int {
+	sys := a.System()
+	candidate := -1
+	better := func(k int) {
+		if candidate < 0 || sys.Strings[k].Worth < sys.Strings[candidate].Worth ||
+			(sys.Strings[k].Worth == sys.Strings[candidate].Worth && k < candidate) {
+			candidate = k
+		}
+	}
+	// Stage-2 violations.
+	for _, v := range a.Violations() {
+		better(v.StringID)
+	}
+	// Stage-1 overloads: every mapped string touching the overloaded
+	// resource is a candidate.
+	overMachine := make([]bool, sys.Machines)
+	anyOver := false
+	for j := 0; j < sys.Machines; j++ {
+		if a.MachineUtilization(j) > 1+1e-9 {
+			overMachine[j] = true
+			anyOver = true
+		}
+	}
+	overRoute := make(map[[2]int]bool)
+	for j1 := 0; j1 < sys.Machines; j1++ {
+		for j2 := 0; j2 < sys.Machines; j2++ {
+			if j1 != j2 && a.RouteUtilization(j1, j2) > 1+1e-9 {
+				overRoute[[2]int{j1, j2}] = true
+				anyOver = true
+			}
+		}
+	}
+	if anyOver {
+		for k := range sys.Strings {
+			if !mapped[k] {
+				continue
+			}
+			n := len(sys.Strings[k].Apps)
+			for i := 0; i < n; i++ {
+				m := a.Machine(k, i)
+				if overMachine[m] {
+					better(k)
+					break
+				}
+				if i < n-1 {
+					next := a.Machine(k, i+1)
+					if m != next && overRoute[[2]int{m, next}] {
+						better(k)
+						break
+					}
+				}
+			}
+		}
+	}
+	return candidate
+}
+
+type ssgMember struct {
+	genes  []int
+	metric feasibility.Metric
+}
+
+// SSG runs the solution-space genetic algorithm: steady-state replacement
+// with rank-bias selection (as in GENITOR), uniform crossover on assignment
+// vectors, and random-reset mutation of one gene.
+func SSG(sys *model.System, cfg SSGConfig) *Result {
+	if cfg.PopulationSize < 2 {
+		cfg.PopulationSize = 2
+	}
+	nGenes := sys.NumApps()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	evals := 0
+	eval := func(genes []int) feasibility.Metric {
+		evals++
+		return DecodeAssignment(sys, genes).Metric
+	}
+	pop := make([]ssgMember, cfg.PopulationSize)
+	for p := range pop {
+		genes := make([]int, nGenes)
+		for g := range genes {
+			genes[g] = rng.Intn(sys.Machines)
+		}
+		pop[p] = ssgMember{genes: genes, metric: eval(genes)}
+	}
+	sortSSG(pop)
+
+	selectRank := func() int {
+		n, b := float64(len(pop)), cfg.Bias
+		u := rng.Float64()
+		var r float64
+		if b == 1 {
+			r = n * u
+		} else {
+			r = n * (b - math.Sqrt(b*b-4*(b-1)*u)) / (2 * (b - 1))
+		}
+		idx := int(r)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(pop) {
+			idx = len(pop) - 1
+		}
+		return idx
+	}
+	tryInsert := func(genes []int, m feasibility.Metric) bool {
+		if !m.Better(pop[len(pop)-1].metric) {
+			return false
+		}
+		pos := sort.Search(len(pop), func(i int) bool { return m.Better(pop[i].metric) })
+		copy(pop[pos+1:], pop[pos:len(pop)-1])
+		pop[pos] = ssgMember{genes: genes, metric: m}
+		return pos == 0
+	}
+
+	iters, stall := 0, 0
+	stopReason := "max-iterations"
+	for iters < cfg.MaxIterations {
+		p1, p2 := pop[selectRank()].genes, pop[selectRank()].genes
+		// Uniform crossover: two complementary offspring.
+		c1 := make([]int, nGenes)
+		c2 := make([]int, nGenes)
+		for g := 0; g < nGenes; g++ {
+			if rng.Intn(2) == 0 {
+				c1[g], c2[g] = p1[g], p2[g]
+			} else {
+				c1[g], c2[g] = p2[g], p1[g]
+			}
+		}
+		improved := false
+		for _, child := range [][]int{c1, c2} {
+			if tryInsert(child, eval(child)) {
+				improved = true
+			}
+		}
+		// Random-reset mutation of one gene.
+		m := append([]int(nil), pop[selectRank()].genes...)
+		if nGenes > 0 && sys.Machines > 1 {
+			g := rng.Intn(nGenes)
+			old := m[g]
+			m[g] = rng.Intn(sys.Machines - 1)
+			if m[g] >= old {
+				m[g]++
+			}
+		}
+		if tryInsert(m, eval(m)) {
+			improved = true
+		}
+		iters++
+		if improved {
+			stall = 0
+		} else {
+			stall++
+			if stall >= cfg.StallLimit {
+				stopReason = "elite-stall"
+				break
+			}
+		}
+	}
+	best := DecodeAssignment(sys, pop[0].genes)
+	best.Evaluations = evals
+	best.Iterations = iters
+	best.StopReason = stopReason
+	return best
+}
+
+func sortSSG(pop []ssgMember) {
+	sort.SliceStable(pop, func(a, b int) bool { return pop[a].metric.Better(pop[b].metric) })
+}

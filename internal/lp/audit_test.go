@@ -1,0 +1,89 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/simplex"
+)
+
+func TestAuditRoutesRequiresSolution(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	if _, err := AuditRoutes(sys, &Bound{}); err == nil {
+		t.Error("audit accepted a bound without a solution")
+	}
+}
+
+// TestAuditRoutesZeroForColocatable: a single-machine system can never need
+// route capacity.
+func TestAuditRoutesZeroForColocatable(t *testing.T) {
+	sys := model.NewUniformSystem(1, 5)
+	sys.AddString(model.AppString{Worth: 10, Period: 100, MaxLatency: 1000,
+		Apps: []model.Application{
+			model.UniformApp(1, 5, 0.5, 50),
+			model.UniformApp(1, 5, 0.5, 50),
+		}})
+	b, err := UpperBound(sys, Config{Formulation: Relaxed, Objective: MaximizeWorth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AuditRoutes(sys, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("implied route utilization %v, want 0", got)
+	}
+}
+
+// TestAuditRoutesDetectsSplit: pinning consecutive applications to different
+// machines forces off-diagonal flow the audit must see.
+func TestAuditRoutesDetectsSplit(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	app0 := model.Application{NominalTime: []float64{5, 5000}, NominalUtil: []float64{1, 1}, OutputKB: 2500}
+	app1 := model.Application{NominalTime: []float64{5000, 5}, NominalUtil: []float64{1, 1}, OutputKB: 10}
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 1000,
+		Apps: []model.Application{app0, app1}})
+	b, err := UpperBound(sys, Config{Formulation: Relaxed, Objective: MaximizeWorth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AuditRoutes(sys, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearly all of the string crosses 0 -> 1 once per 10 s: utilization
+	// around 8*2500/(1000*10)/5 = 0.4 per unit fraction.
+	if got < 0.3 {
+		t.Errorf("implied route utilization %v, want about 0.4", got)
+	}
+}
+
+// TestAuditSmallOnRandomRelaxedSolutions: on typical random instances the LP
+// equalizes consecutive distributions, so the implied route pressure is far
+// below capacity — evidence for the relaxation substitution in DESIGN.md.
+func TestAuditSmallOnRandomRelaxedSolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	worst := 0.0
+	for trial := 0; trial < 5; trial++ {
+		sys := randomSmallSystem(rng, 4, 6, 4)
+		b, err := UpperBound(sys, Config{Formulation: Relaxed, Objective: MaximizeWorth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Status != simplex.Optimal {
+			t.Fatalf("trial %d: %v", trial, b.Status)
+		}
+		got, err := AuditRoutes(sys, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > worst {
+			worst = got
+		}
+	}
+	if worst > 1 {
+		t.Errorf("implied route utilization %v exceeds capacity on a random instance", worst)
+	}
+}

@@ -1,0 +1,78 @@
+package model
+
+// Machine-averaged quantities from Section 5 (equations (8) and (9)) and the
+// average inverse bandwidth used by the Tightest First heuristic. They let a
+// heuristic reason about an application before any allocation decisions fix
+// concrete machines or routes.
+
+// AvgNominalTime returns t_av^k[i] (equation (8)): the nominal execution time
+// of application i of string k averaged over all machines.
+func (sys *System) AvgNominalTime(k, i int) float64 {
+	a := &sys.Strings[k].Apps[i]
+	sum := 0.0
+	for _, t := range a.NominalTime {
+		sum += t
+	}
+	return sum / float64(sys.Machines)
+}
+
+// AvgNominalUtil returns u_av^k[i] (equation (9)): the nominal CPU
+// utilization of application i of string k averaged over all machines.
+func (sys *System) AvgNominalUtil(k, i int) float64 {
+	a := &sys.Strings[k].Apps[i]
+	sum := 0.0
+	for _, u := range a.NominalUtil {
+		sum += u
+	}
+	return sum / float64(sys.Machines)
+}
+
+// AvgWork returns the machine-averaged CPU work t_av[i]*u_av[i] used by the
+// IMR to pick the most computationally intensive unassigned application
+// (steps 1 and 4b of the IMR pseudo code; the division by P[k] there is
+// constant within a string and does not change the argmax, but callers that
+// need the exact paper expression can divide by the period themselves).
+func (sys *System) AvgWork(k, i int) float64 {
+	return sys.AvgNominalTime(k, i) * sys.AvgNominalUtil(k, i)
+}
+
+// AvgInvBandwidth returns (1/w)_av, the inverse bandwidth averaged across all
+// M^2 possible routes in the system (Section 5, Tightest First heuristic).
+// Intra-machine routes have infinite bandwidth and contribute zero.
+func (sys *System) AvgInvBandwidth() float64 {
+	sum := 0.0
+	for j1 := 0; j1 < sys.Machines; j1++ {
+		for j2 := 0; j2 < sys.Machines; j2++ {
+			if j1 == j2 {
+				continue
+			}
+			sum += 1 / sys.Bandwidth[j1][j2]
+		}
+	}
+	return sum / float64(sys.Machines*sys.Machines)
+}
+
+// AvgTransferSeconds returns the machine-averaged nominal transfer time in
+// seconds for the output of application i of string k: 8*O[i]/1000 kilobits
+// spread over the average inverse bandwidth. It is the O[i]/w_av term of the
+// workload-generation formulas in Section 8 and of the TF ranking criterion.
+func (sys *System) AvgTransferSeconds(k, i int) float64 {
+	return 8 * sys.Strings[k].Apps[i].OutputKB / 1000 * sys.AvgInvBandwidth()
+}
+
+// AvgTightness returns the allocation-independent variant of relative
+// tightness (equation (4) with every allocation-specific term replaced by its
+// machine average) used as the ranking criterion of the Tightest First
+// heuristic: the machine-averaged time for one data set to flow through the
+// string, divided by the end-to-end latency constraint.
+func (sys *System) AvgTightness(k int) float64 {
+	s := &sys.Strings[k]
+	total := 0.0
+	for i := range s.Apps {
+		total += sys.AvgNominalTime(k, i)
+		if i < len(s.Apps)-1 {
+			total += sys.AvgTransferSeconds(k, i)
+		}
+	}
+	return total / s.MaxLatency
+}

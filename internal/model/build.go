@@ -1,0 +1,47 @@
+package model
+
+// Construction helpers used by examples, tests, and hand-built scenarios.
+
+// UniformBandwidth returns an m×m bandwidth matrix with every inter-machine
+// route set to mbps (diagonal entries are zero and ignored).
+func UniformBandwidth(m int, mbps float64) [][]float64 {
+	bw := make([][]float64, m)
+	for j1 := range bw {
+		bw[j1] = make([]float64, m)
+		for j2 := range bw[j1] {
+			if j1 != j2 {
+				bw[j1][j2] = mbps
+			}
+		}
+	}
+	return bw
+}
+
+// UniformApp returns an application whose nominal time and utilization are
+// identical on all m machines.
+func UniformApp(m int, timeSec, util, outputKB float64) Application {
+	a := Application{
+		NominalTime: make([]float64, m),
+		NominalUtil: make([]float64, m),
+		OutputKB:    outputKB,
+	}
+	for j := 0; j < m; j++ {
+		a.NominalTime[j] = timeSec
+		a.NominalUtil[j] = util
+	}
+	return a
+}
+
+// NewUniformSystem builds a system of m identical machines fully connected by
+// routes of the given bandwidth, with no strings. Strings are appended by the
+// caller (remember to set AppString.ID to the index in Strings).
+func NewUniformSystem(m int, mbps float64) *System {
+	return &System{Machines: m, Bandwidth: UniformBandwidth(m, mbps)}
+}
+
+// AddString appends s to the system, assigns its ID, and returns its index.
+func (sys *System) AddString(s AppString) int {
+	s.ID = len(sys.Strings)
+	sys.Strings = append(sys.Strings, s)
+	return s.ID
+}

@@ -1,0 +1,54 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes the system as indented JSON to w.
+func (sys *System) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sys); err != nil {
+		return fmt.Errorf("model: encoding system: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a system from JSON and validates it.
+func ReadJSON(r io.Reader) (*System, error) {
+	var sys System
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&sys); err != nil {
+		return nil, fmt.Errorf("model: decoding system: %w", err)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return &sys, nil
+}
+
+// SaveFile writes the system to path as JSON.
+func (sys *System) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("model: %w", err)
+	}
+	defer f.Close()
+	if err := sys.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads and validates a system from a JSON file.
+func LoadFile(path string) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

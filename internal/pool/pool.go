@@ -1,0 +1,278 @@
+// Package pool implements the resource-pool generalization from the paper's
+// Section 2 footnote 1: "In the final ARMS system, computational resources
+// will be divided into pools; in this paper, we assume each pool consists of
+// one machine." Here a pool is a named group of machines; the allocator
+// decides at pool granularity and an internal dispatcher picks the concrete
+// member machine — the two-level placement the full ARMS architecture
+// anticipates. With singleton pools everything reduces exactly to the
+// paper's flat model (a property test pins that equivalence).
+package pool
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/feasibility"
+	"repro/internal/model"
+)
+
+// Pool is a named group of machine indices.
+type Pool struct {
+	Name    string `json:"name"`
+	Members []int  `json:"members"`
+}
+
+// Partition divides a machine suite into disjoint pools covering every
+// machine.
+type Partition struct {
+	Pools []Pool `json:"pools"`
+}
+
+// Singletons returns the paper's degenerate partition: one machine per pool.
+func Singletons(machines int) *Partition {
+	p := &Partition{}
+	for j := 0; j < machines; j++ {
+		p.Pools = append(p.Pools, Pool{Name: fmt.Sprintf("pool-%d", j), Members: []int{j}})
+	}
+	return p
+}
+
+// Uniform returns a partition of machines into consecutive pools of the
+// given size (the last pool absorbs any remainder).
+func Uniform(machines, size int) (*Partition, error) {
+	if size < 1 || size > machines {
+		return nil, fmt.Errorf("pool: size %d for %d machines", size, machines)
+	}
+	p := &Partition{}
+	for start := 0; start < machines; start += size {
+		end := start + size
+		if machines-end < size { // absorb remainder into the last pool
+			end = machines
+		}
+		members := make([]int, 0, end-start)
+		for j := start; j < end; j++ {
+			members = append(members, j)
+		}
+		p.Pools = append(p.Pools, Pool{Name: fmt.Sprintf("pool-%d", len(p.Pools)), Members: members})
+		if end == machines {
+			break
+		}
+	}
+	return p, nil
+}
+
+// Validate checks that the pools disjointly cover machines 0..n-1.
+func (p *Partition) Validate(machines int) error {
+	if len(p.Pools) == 0 {
+		return fmt.Errorf("pool: empty partition")
+	}
+	seen := make([]bool, machines)
+	count := 0
+	for pi, pool := range p.Pools {
+		if len(pool.Members) == 0 {
+			return fmt.Errorf("pool: pool %d (%s) is empty", pi, pool.Name)
+		}
+		for _, j := range pool.Members {
+			if j < 0 || j >= machines {
+				return fmt.Errorf("pool: pool %d references machine %d of %d", pi, j, machines)
+			}
+			if seen[j] {
+				return fmt.Errorf("pool: machine %d in two pools", j)
+			}
+			seen[j] = true
+			count++
+		}
+	}
+	if count != machines {
+		return fmt.Errorf("pool: pools cover %d of %d machines", count, machines)
+	}
+	return nil
+}
+
+// PoolOf returns the pool index containing machine j, or -1.
+func (p *Partition) PoolOf(j int) int {
+	for pi := range p.Pools {
+		for _, m := range p.Pools[pi].Members {
+			if m == j {
+				return pi
+			}
+		}
+	}
+	return -1
+}
+
+// Allocator performs two-level placement: strings are assigned to pools, and
+// the internal dispatcher picks the member machine that minimizes the IMR
+// candidate cost at that moment. It wraps a flat feasibility.Allocation, so
+// the two-stage analysis, slackness, and the simulator all apply unchanged.
+type Allocator struct {
+	Part  *Partition
+	Alloc *feasibility.Allocation
+}
+
+// NewAllocator validates the partition against the system.
+func NewAllocator(sys *model.System, part *Partition) (*Allocator, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := part.Validate(sys.Machines); err != nil {
+		return nil, err
+	}
+	return &Allocator{Part: part, Alloc: feasibility.New(sys)}, nil
+}
+
+// dispatchCost is the IMR candidate cost of placing application i of string
+// k on machine j: the max of the resulting machine utilization and the
+// utilizations of routes to already-placed neighbors.
+func (a *Allocator) dispatchCost(k, i, j int) float64 {
+	sys := a.Alloc.System()
+	val := a.Alloc.MachineUtilizationIf(j, k, i)
+	if i > 0 {
+		if prev := a.Alloc.Machine(k, i-1); prev != feasibility.Unassigned {
+			if u := a.Alloc.RouteUtilizationIf(prev, j, k, i-1); u > val {
+				val = u
+			}
+		}
+	}
+	if i < len(sys.Strings[k].Apps)-1 {
+		if next := a.Alloc.Machine(k, i+1); next != feasibility.Unassigned {
+			if u := a.Alloc.RouteUtilizationIf(j, next, k, i); u > val {
+				val = u
+			}
+		}
+	}
+	return val
+}
+
+// AssignToPool places application i of string k in the given pool,
+// dispatching to the member machine with the smallest dispatch cost. It
+// returns the machine chosen.
+func (a *Allocator) AssignToPool(k, i, poolIdx int) int {
+	pool := a.Part.Pools[poolIdx]
+	bestJ, bestVal := -1, 0.0
+	for _, j := range pool.Members {
+		val := a.dispatchCost(k, i, j)
+		if bestJ < 0 || val < bestVal {
+			bestJ, bestVal = j, val
+		}
+	}
+	a.Alloc.Assign(k, i, bestJ)
+	return bestJ
+}
+
+// PoolUtilization returns the mean member-machine utilization of a pool —
+// the aggregate the pool-level allocator reasons about.
+func (a *Allocator) PoolUtilization(poolIdx int) float64 {
+	pool := a.Part.Pools[poolIdx]
+	sum := 0.0
+	for _, j := range pool.Members {
+		sum += a.Alloc.MachineUtilization(j)
+	}
+	return sum / float64(len(pool.Members))
+}
+
+// MapStringPooled is the pool-granular IMR: application placement decisions
+// pick a pool by minimum mean utilization (ties to the lower pool index) and
+// let the dispatcher choose the machine. Applications are visited in the
+// same most-intensive-first contiguous-region order as the flat IMR.
+func (a *Allocator) MapStringPooled(k int) {
+	sys := a.Alloc.System()
+	s := &sys.Strings[k]
+	n := len(s.Apps)
+	intensity := make([]float64, n)
+	for i := 0; i < n; i++ {
+		intensity[i] = sys.AvgWork(k, i)
+	}
+	assigned := make([]bool, n)
+	mostIntensive := func() int {
+		best, bestVal := -1, -1.0
+		for i := 0; i < n; i++ {
+			if !assigned[i] && intensity[i] > bestVal {
+				best, bestVal = i, intensity[i]
+			}
+		}
+		return best
+	}
+	place := func(i int) {
+		bestPool, bestVal := 0, -1.0
+		for pi := range a.Part.Pools {
+			v := a.poolCost(k, i, pi)
+			if bestVal < 0 || v < bestVal {
+				bestPool, bestVal = pi, v
+			}
+		}
+		a.AssignToPool(k, i, bestPool)
+		assigned[i] = true
+	}
+	first := mostIntensive()
+	place(first)
+	left, right := first, first
+	for right-left+1 < n {
+		target := mostIntensive()
+		for target > right {
+			right++
+			place(right)
+		}
+		for target < left {
+			left--
+			place(left)
+		}
+	}
+}
+
+// poolCost is the pool-level placement cost: the mean dispatch cost over the
+// pool's members. The mean models the information hiding of a pool boundary —
+// the pool-level allocator sees an aggregate, not each member — which is what
+// makes multi-machine pools genuinely coarser than flat allocation. For
+// singleton pools the mean is the single member's exact dispatch cost, so the
+// pooled IMR coincides with the flat IMR (same costs, same machine-index tie
+// breaking); a test pins that equivalence.
+func (a *Allocator) poolCost(k, i, pi int) float64 {
+	pool := a.Part.Pools[pi]
+	sum := 0.0
+	for _, j := range pool.Members {
+		sum += a.dispatchCost(k, i, j)
+	}
+	return sum / float64(len(pool.Members))
+}
+
+// Result mirrors heuristics.Result for pooled mapping.
+type Result struct {
+	Alloc     *feasibility.Allocation
+	Mapped    []bool
+	NumMapped int
+	Metric    feasibility.Metric
+}
+
+// MapSequencePooled maps strings in order with the paper's stop-on-failure
+// semantics, at pool granularity.
+func MapSequencePooled(sys *model.System, part *Partition, order []int) (*Result, error) {
+	a, err := NewAllocator(sys, part)
+	if err != nil {
+		return nil, err
+	}
+	mapped := make([]bool, len(sys.Strings))
+	num := 0
+	for _, k := range order {
+		a.MapStringPooled(k)
+		if !a.Alloc.FeasibleAfterAdding(k) {
+			a.Alloc.UnassignString(k)
+			break
+		}
+		mapped[k] = true
+		num++
+	}
+	return &Result{Alloc: a.Alloc, Mapped: mapped, NumMapped: num, Metric: a.Alloc.Metric()}, nil
+}
+
+// MWFOrder re-exports the worth ordering for pooled mapping convenience.
+func MWFOrder(sys *model.System) []int {
+	order := make([]int, len(sys.Strings))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return sys.Strings[order[x]].Worth > sys.Strings[order[y]].Worth
+	})
+	return order
+}

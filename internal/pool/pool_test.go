@@ -1,0 +1,196 @@
+package pool
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/workload"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPartitionConstructors(t *testing.T) {
+	s := Singletons(4)
+	if err := s.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Pools) != 4 || len(s.Pools[2].Members) != 1 || s.Pools[2].Members[0] != 2 {
+		t.Errorf("singletons wrong: %+v", s)
+	}
+	u, err := Uniform(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(12); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Pools) != 3 {
+		t.Errorf("uniform(12,4) has %d pools, want 3", len(u.Pools))
+	}
+	// Remainder absorption: 10 machines in pools of 4 -> 4 + 6.
+	u2, err := Uniform(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(u2.Pools) != 2 || len(u2.Pools[1].Members) != 6 {
+		t.Errorf("uniform(10,4) = %+v, want pools of 4 and 6", u2)
+	}
+	if _, err := Uniform(4, 0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := Uniform(4, 5); err == nil {
+		t.Error("oversized pool accepted")
+	}
+}
+
+func TestPartitionValidateRejections(t *testing.T) {
+	bad := []*Partition{
+		{},
+		{Pools: []Pool{{Name: "a"}}},
+		{Pools: []Pool{{Name: "a", Members: []int{0, 9}}}},
+		{Pools: []Pool{{Name: "a", Members: []int{0, 0}}, {Name: "b", Members: []int{1}}}},
+		{Pools: []Pool{{Name: "a", Members: []int{0}}}}, // does not cover machine 1
+	}
+	for i, p := range bad {
+		if err := p.Validate(2); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestPoolOf(t *testing.T) {
+	p, _ := Uniform(6, 3)
+	if p.PoolOf(4) != 1 || p.PoolOf(0) != 0 {
+		t.Errorf("PoolOf wrong: %d %d", p.PoolOf(4), p.PoolOf(0))
+	}
+	if p.PoolOf(9) != -1 {
+		t.Error("missing machine not reported")
+	}
+}
+
+// TestSingletonEquivalence: with one machine per pool, pooled MWF must equal
+// flat MWF exactly — the paper's stated assumption.
+func TestSingletonEquivalence(t *testing.T) {
+	cfg := workload.ScenarioConfig(workload.LightlyLoaded)
+	cfg.Strings = 12
+	for seed := int64(1); seed <= 5; seed++ {
+		sys := workload.MustGenerate(cfg, seed)
+		flat := heuristics.MWF(sys)
+		pooled, err := MapSequencePooled(sys, Singletons(sys.Machines), heuristics.MWFOrder(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pooled.NumMapped != flat.NumMapped {
+			t.Fatalf("seed %d: pooled mapped %d, flat %d", seed, pooled.NumMapped, flat.NumMapped)
+		}
+		if !approx(pooled.Metric.Worth, flat.Metric.Worth, 1e-9) {
+			t.Fatalf("seed %d: pooled worth %v, flat %v", seed, pooled.Metric.Worth, flat.Metric.Worth)
+		}
+	}
+}
+
+// TestPooledMappingFeasibleAndCoarser: pooled decisions are coarser, so the
+// pooled result can never beat flat on worth by more than noise, and must be
+// feasible.
+func TestPooledMappingFeasible(t *testing.T) {
+	cfg := workload.ScenarioConfig(workload.HighlyLoaded)
+	cfg.Strings = 40
+	sys := workload.MustGenerate(cfg, 3)
+	part, err := Uniform(sys.Machines, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MapSequencePooled(sys, part, MWFOrder(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Alloc.TwoStageFeasible() {
+		t.Fatal("pooled mapping infeasible")
+	}
+	if r.NumMapped == 0 {
+		t.Fatal("pooled mapping mapped nothing")
+	}
+	worth := 0.0
+	for k, ok := range r.Mapped {
+		if ok {
+			worth += sys.Strings[k].Worth
+		}
+	}
+	if !approx(worth, r.Metric.Worth, 1e-9) {
+		t.Errorf("worth accounting: %v vs %v", worth, r.Metric.Worth)
+	}
+}
+
+// TestDispatcherSpreadsWithinPool: two heavy apps assigned to a 2-machine
+// pool must land on different members.
+func TestDispatcherSpreadsWithinPool(t *testing.T) {
+	cfg := workload.ScenarioConfig(workload.LightlyLoaded)
+	cfg.Strings = 2
+	cfg.MaxAppsPerString = 1
+	sys := workload.MustGenerate(cfg, 9)
+	part, err := Uniform(sys.Machines, sys.Machines) // one big pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAllocator(sys, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := a.AssignToPool(0, 0, 0)
+	m2 := a.AssignToPool(1, 0, 0)
+	if m1 == m2 {
+		t.Errorf("dispatcher stacked both applications on machine %d", m1)
+	}
+	if u := a.PoolUtilization(0); u <= 0 {
+		t.Errorf("pool utilization %v", u)
+	}
+}
+
+func TestNewAllocatorValidation(t *testing.T) {
+	cfg := workload.ScenarioConfig(workload.LightlyLoaded)
+	cfg.Strings = 2
+	sys := workload.MustGenerate(cfg, 1)
+	if _, err := NewAllocator(sys, &Partition{}); err == nil {
+		t.Error("empty partition accepted")
+	}
+	bad := sys.Clone()
+	bad.Machines = 0
+	if _, err := NewAllocator(bad, Singletons(12)); err == nil {
+		t.Error("invalid system accepted")
+	}
+	if _, err := MapSequencePooled(sys, &Partition{}, []int{0, 1}); err == nil {
+		t.Error("MapSequencePooled accepted an empty partition")
+	}
+}
+
+// TestPoolingCoarsensDecisions: with multi-machine pools the allocator sees
+// only aggregate member costs, so on a contended workload the pooled mapping
+// generally differs from — and does not beat — the flat mapping.
+func TestPoolingCoarsensDecisions(t *testing.T) {
+	cfg := workload.ScenarioConfig(workload.HighlyLoaded)
+	cfg.Strings = 60
+	worse, trials := 0, 0
+	for seed := int64(1); seed <= 6; seed++ {
+		sys := workload.MustGenerate(cfg, seed)
+		flat := heuristics.MWF(sys)
+		part, err := Uniform(sys.Machines, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := MapSequencePooled(sys, part, heuristics.MWFOrder(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials++
+		if pooled.Metric.Worth <= flat.Metric.Worth+1e-9 {
+			worse++
+		}
+	}
+	if worse < trials-1 { // allow one lucky tie-breaking inversion
+		t.Errorf("pooled beat flat in %d/%d trials; aggregation should not help", trials-worse, trials)
+	}
+}

@@ -1,0 +1,130 @@
+// Package report renders human-readable summaries of allocations: the
+// operator-facing view of the "interactive software application ...
+// [allowing] simulation, testing, and demonstration of the heuristics"
+// described in Section 8. Output is plain text suitable for terminals and
+// logs: utilization bars per machine, the busiest routes, per-string
+// placement tables, and a QoS headroom column showing how close each string
+// sits to its latency bound.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/feasibility"
+)
+
+// barWidth is the character width of utilization bars.
+const barWidth = 30
+
+// bar renders a [0,1] utilization as a fixed-width gauge.
+func bar(u float64) string {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	fill := int(u*barWidth + 0.5)
+	return "[" + strings.Repeat("#", fill) + strings.Repeat(".", barWidth-fill) + "]"
+}
+
+// WriteUtilization prints one gauge per machine plus the most utilized
+// routes (up to topRoutes; zero-utilization routes are omitted).
+func WriteUtilization(w io.Writer, a *feasibility.Allocation, topRoutes int) {
+	sys := a.System()
+	fmt.Fprintln(w, "machine utilization:")
+	for j := 0; j < sys.Machines; j++ {
+		u := a.MachineUtilization(j)
+		fmt.Fprintf(w, "  m%-3d %s %6.1f%%\n", j, bar(u), 100*u)
+	}
+	type routeU struct {
+		j1, j2 int
+		u      float64
+	}
+	var routes []routeU
+	for j1 := 0; j1 < sys.Machines; j1++ {
+		for j2 := 0; j2 < sys.Machines; j2++ {
+			if j1 != j2 {
+				if u := a.RouteUtilization(j1, j2); u > 0 {
+					routes = append(routes, routeU{j1, j2, u})
+				}
+			}
+		}
+	}
+	sort.Slice(routes, func(x, y int) bool { return routes[x].u > routes[y].u })
+	if len(routes) > topRoutes {
+		routes = routes[:topRoutes]
+	}
+	if len(routes) > 0 {
+		fmt.Fprintln(w, "busiest routes:")
+		for _, r := range routes {
+			fmt.Fprintf(w, "  m%d->m%-3d %s %6.1f%%\n", r.j1, r.j2, bar(r.u), 100*r.u)
+		}
+	}
+	fmt.Fprintf(w, "system slackness: %.3f\n", a.Slackness())
+}
+
+// WriteStrings prints one row per completely mapped string: worth, relative
+// tightness, estimated end-to-end latency against its bound (headroom), and
+// the machine vector. Unmapped strings are summarized by a count.
+func WriteStrings(w io.Writer, a *feasibility.Allocation) {
+	sys := a.System()
+	fmt.Fprintf(w, "%-6s %6s %9s %12s %10s  %s\n",
+		"string", "worth", "tightness", "latency", "headroom", "machines")
+	unmapped := 0
+	for k := range sys.Strings {
+		if !a.Complete(k) {
+			unmapped++
+			continue
+		}
+		lat := a.StringLatency(k)
+		bound := sys.Strings[k].MaxLatency
+		fmt.Fprintf(w, "S%-5d %6.0f %9.3f %7.2f/%-4.0f %9.0f%%  %v\n",
+			k, sys.Strings[k].Worth, a.Tightness(k), lat, bound,
+			100*(1-lat/bound), a.StringMachines(k))
+	}
+	if unmapped > 0 {
+		fmt.Fprintf(w, "(%d strings unmapped)\n", unmapped)
+	}
+}
+
+// WriteViolations lists every QoS violation of the current mapping (useful
+// after workload growth, before repair); it prints a confirmation line when
+// the mapping is clean.
+func WriteViolations(w io.Writer, a *feasibility.Allocation) {
+	violations := a.Violations()
+	if len(violations) == 0 && a.Stage1Feasible() {
+		fmt.Fprintln(w, "two-stage analysis: feasible, no violations")
+		return
+	}
+	if !a.Stage1Feasible() {
+		sys := a.System()
+		for j := 0; j < sys.Machines; j++ {
+			if u := a.MachineUtilization(j); u > 1 {
+				fmt.Fprintf(w, "stage 1: machine %d over capacity at %.1f%%\n", j, 100*u)
+			}
+			for j2 := 0; j2 < sys.Machines; j2++ {
+				if j != j2 {
+					if u := a.RouteUtilization(j, j2); u > 1 {
+						fmt.Fprintf(w, "stage 1: route %d->%d over capacity at %.1f%%\n", j, j2, 100*u)
+					}
+				}
+			}
+		}
+	}
+	for _, v := range violations {
+		fmt.Fprintf(w, "stage 2: %s\n", v.Error())
+	}
+}
+
+// Write produces the full report: utilization, strings, violations.
+func Write(w io.Writer, a *feasibility.Allocation) {
+	WriteUtilization(w, a, 5)
+	fmt.Fprintln(w)
+	WriteStrings(w, a)
+	fmt.Fprintln(w)
+	WriteViolations(w, a)
+}

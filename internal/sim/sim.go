@@ -1,0 +1,537 @@
+// Package sim is a discrete-event simulator of the TSCE runtime described in
+// Sections 2-3 of Shestak et al. (IPPS 2005). It executes a concrete
+// allocation: each string releases a data set every period (periods lined up
+// at their beginnings, the worst-case overlap of Figure 2), data sets flow
+// through the string's applications and inter-machine transfers, and shared
+// resources are scheduled by the paper's local policy — applications and
+// transfers of relatively tighter strings get higher execution priority.
+//
+// Machines implement generalized processor sharing with per-job rate caps:
+// a running application can use at most its nominal CPU utilization u, jobs
+// are served in priority order, and each receives min(u, remaining capacity).
+// An application's instance requires t·u CPU-seconds of work, so running
+// alone it finishes in exactly its nominal time t. Routes are
+// priority-preemptive single servers: the tightest active transfer uses the
+// full route bandwidth.
+//
+// The simulator serves two purposes in this reproduction:
+//
+//   - validating the analytic time estimates of equations (5) and (6): the
+//     measured average computation times reproduce the three CPU-sharing
+//     cases of Figure 2 exactly;
+//   - the robustness extension (experiment E7): scaling the input workload by
+//     a factor γ and counting QoS violations shows how system slackness
+//     translates into absorbable workload growth.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/feasibility"
+)
+
+// workEps treats remaining work below this as complete.
+const workEps = 1e-9
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Periods is the number of data sets each string releases (at times
+	// 0, P[k], 2P[k], ...). The simulation runs until every released data
+	// set completes. Default 20.
+	Periods int
+	// WorkloadScale multiplies every application's CPU work and every
+	// transfer's size, modeling an unpredicted input workload increase
+	// (γ = 1 is the planned workload). Default 1.
+	WorkloadScale float64
+	// Phases optionally offsets each string's release times: string k
+	// releases data sets at Phases[k] + q·P[k]. Nil means all zeros — the
+	// paper's worst-case overlap where periods are "lined up at their
+	// beginnings" (Figure 2). Negative phases are rejected.
+	Phases []float64
+}
+
+// AppStats aggregates measurements for one application or its outgoing
+// transfer.
+type AppStats struct {
+	Count    int
+	MeanComp float64
+	MaxComp  float64
+	MeanTran float64
+	MaxTran  float64
+}
+
+// StringStats aggregates per-string measurements.
+type StringStats struct {
+	// Apps has one entry per application of the string.
+	Apps []AppStats
+	// Completed counts data sets that traversed the whole string.
+	Completed int
+	// MeanLatency and MaxLatency are end-to-end per data set.
+	MeanLatency float64
+	MaxLatency  float64
+	// ThroughputViolations counts computation or transfer durations that
+	// exceeded the string's period; LatencyViolations counts end-to-end
+	// latencies exceeding Lmax.
+	ThroughputViolations int
+	LatencyViolations    int
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Strings []StringStats
+	// QoSViolations is the total violation count across strings.
+	QoSViolations int
+	// Duration is the simulated time at which the last data set completed.
+	Duration float64
+	// Events counts processed simulation events.
+	Events int
+	// MachineBusySeconds[j] is the CPU time machine j spent executing.
+	// Because the simulation drains every released data set, it equals the
+	// total CPU work released onto the machine exactly — a conservation
+	// invariant the tests pin against the analytic demand terms.
+	MachineBusySeconds []float64
+}
+
+// job is an application instance executing (or waiting to execute) on a
+// machine. Only the head-of-queue instance of each application is active.
+type job struct {
+	k, i, q   int
+	remaining float64 // CPU-seconds
+	rateCap   float64
+	priority  int     // rank in the global tightness order (0 = tightest)
+	queuedAt  float64 // when the data set entered this application's queue
+	rate      float64 // current allocation
+}
+
+// transfer is a data set crossing an inter-machine route.
+type transfer struct {
+	k, i, q     int
+	remainingMb float64 // megabits
+	priority    int
+	queuedAt    float64
+}
+
+type appState struct {
+	queue  []pendingSet // waiting data sets (FIFO); head is active
+	active *job
+}
+
+type pendingSet struct {
+	q        int
+	queuedAt float64
+}
+
+type machineState struct {
+	jobs []*job // active jobs (heads of app queues assigned here)
+	busy float64
+}
+
+type routeState struct {
+	transfers []*transfer // priority order maintained on insert
+}
+
+type simulator struct {
+	alloc  *feasibility.Allocation
+	cfg    Config
+	rank   []int // string -> priority rank (0 = tightest)
+	apps   [][]appState
+	mach   []machineState
+	routes map[[2]int]*routeState
+	now    float64
+	relIdx []int // next data-set index to release, per string
+	// metrics
+	compSum, compMax [][]float64
+	tranSum, tranMax [][]float64
+	count            [][]int
+	latSum, latMax   []float64
+	completed        []int
+	thrViol, latViol []int
+	events           int
+}
+
+// Run simulates the completely mapped strings of the allocation. Strings that
+// are not completely mapped are ignored (they are not deployed). It returns
+// an error for configurations that cannot be simulated.
+func Run(alloc *feasibility.Allocation, cfg Config) (*Result, error) {
+	if cfg.Periods == 0 {
+		cfg.Periods = 20
+	}
+	if cfg.WorkloadScale == 0 {
+		cfg.WorkloadScale = 1
+	}
+	if cfg.Periods < 1 || cfg.WorkloadScale <= 0 {
+		return nil, fmt.Errorf("sim: invalid config %+v", cfg)
+	}
+	if cfg.Phases != nil {
+		if len(cfg.Phases) != len(alloc.System().Strings) {
+			return nil, fmt.Errorf("sim: %d phases for %d strings", len(cfg.Phases), len(alloc.System().Strings))
+		}
+		for k, ph := range cfg.Phases {
+			if ph < 0 || math.IsNaN(ph) || math.IsInf(ph, 0) {
+				return nil, fmt.Errorf("sim: phase[%d] = %v", k, ph)
+			}
+		}
+	}
+	s := newSimulator(alloc, cfg)
+	s.run()
+	return s.result(), nil
+}
+
+func newSimulator(alloc *feasibility.Allocation, cfg Config) *simulator {
+	sys := alloc.System()
+	nk := len(sys.Strings)
+	s := &simulator{
+		alloc:     alloc,
+		cfg:       cfg,
+		rank:      make([]int, nk),
+		apps:      make([][]appState, nk),
+		mach:      make([]machineState, sys.Machines),
+		routes:    make(map[[2]int]*routeState),
+		relIdx:    make([]int, nk),
+		compSum:   make([][]float64, nk),
+		compMax:   make([][]float64, nk),
+		tranSum:   make([][]float64, nk),
+		tranMax:   make([][]float64, nk),
+		count:     make([][]int, nk),
+		latSum:    make([]float64, nk),
+		latMax:    make([]float64, nk),
+		completed: make([]int, nk),
+		thrViol:   make([]int, nk),
+		latViol:   make([]int, nk),
+	}
+	// Priority ranks: tighter strings first, ties by string ID — the same
+	// strict order the feasibility analysis uses.
+	type tk struct {
+		k int
+		t float64
+	}
+	var order []tk
+	for k := 0; k < nk; k++ {
+		if alloc.Complete(k) {
+			order = append(order, tk{k, alloc.Tightness(k)})
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].t != order[b].t {
+			return order[a].t > order[b].t
+		}
+		return order[a].k < order[b].k
+	})
+	for k := range s.rank {
+		s.rank[k] = -1
+	}
+	for r, o := range order {
+		s.rank[o.k] = r
+	}
+	for k := 0; k < nk; k++ {
+		n := len(sys.Strings[k].Apps)
+		s.apps[k] = make([]appState, n)
+		s.compSum[k] = make([]float64, n)
+		s.compMax[k] = make([]float64, n)
+		s.tranSum[k] = make([]float64, n)
+		s.tranMax[k] = make([]float64, n)
+		s.count[k] = make([]int, n)
+	}
+	return s
+}
+
+// run executes the synchronous-sweep event loop: find the earliest next
+// event (release, job completion, transfer completion), advance all resource
+// states to that time, process everything due, and recompute rates.
+func (s *simulator) run() {
+	sys := s.alloc.System()
+	for {
+		next := math.Inf(1)
+		// Next release.
+		for k := range sys.Strings {
+			if s.rank[k] < 0 || s.relIdx[k] >= s.cfg.Periods {
+				continue
+			}
+			t := s.releaseTime(k, s.relIdx[k])
+			if t < next {
+				next = t
+			}
+		}
+		// Next job completion.
+		for j := range s.mach {
+			for _, jb := range s.mach[j].jobs {
+				if jb.rate > 0 {
+					if t := s.now + jb.remaining/jb.rate; t < next {
+						next = t
+					}
+				}
+			}
+		}
+		// Next transfer completion (only the head of each route is served).
+		for key, r := range s.routes {
+			if len(r.transfers) == 0 {
+				continue
+			}
+			w := sys.Bandwidth[key[0]][key[1]]
+			head := r.transfers[0]
+			if t := s.now + head.remainingMb/w; t < next {
+				next = t
+			}
+		}
+		if math.IsInf(next, 1) {
+			return // all work drained
+		}
+		s.advanceTo(next)
+		s.processDue()
+		s.events++
+	}
+}
+
+// advanceTo moves simulated time forward, draining work at current rates.
+func (s *simulator) advanceTo(t float64) {
+	dt := t - s.now
+	if dt < 0 {
+		dt = 0
+	}
+	sys := s.alloc.System()
+	for j := range s.mach {
+		for _, jb := range s.mach[j].jobs {
+			done := jb.rate * dt
+			if done > jb.remaining {
+				done = jb.remaining
+			}
+			jb.remaining -= done
+			s.mach[j].busy += done
+		}
+	}
+	for key, r := range s.routes {
+		if len(r.transfers) == 0 {
+			continue
+		}
+		head := r.transfers[0]
+		head.remainingMb -= sys.Bandwidth[key[0]][key[1]] * dt
+		if head.remainingMb < 0 {
+			head.remainingMb = 0
+		}
+	}
+	s.now = t
+}
+
+// processDue handles every event that is ripe at the current time: releases,
+// completed jobs, completed transfers. It loops because one completion can
+// enable another zero-duration step (e.g. an intra-machine hop).
+func (s *simulator) processDue() {
+	sys := s.alloc.System()
+	for {
+		progressed := false
+		// Releases.
+		for k := range sys.Strings {
+			if s.rank[k] < 0 {
+				continue
+			}
+			for s.relIdx[k] < s.cfg.Periods && s.releaseTime(k, s.relIdx[k]) <= s.now+workEps {
+				q := s.relIdx[k]
+				s.relIdx[k]++
+				s.enqueue(k, 0, q)
+				progressed = true
+			}
+		}
+		// Job completions.
+		for j := range s.mach {
+			for idx := 0; idx < len(s.mach[j].jobs); {
+				jb := s.mach[j].jobs[idx]
+				if jb.remaining <= workEps {
+					s.mach[j].jobs = append(s.mach[j].jobs[:idx], s.mach[j].jobs[idx+1:]...)
+					s.completeJob(jb)
+					progressed = true
+					continue
+				}
+				idx++
+			}
+		}
+		// Transfer completions.
+		for key, r := range s.routes {
+			for len(r.transfers) > 0 && r.transfers[0].remainingMb <= workEps {
+				tr := r.transfers[0]
+				r.transfers = r.transfers[1:]
+				s.completeTransfer(tr)
+				progressed = true
+			}
+			_ = key
+		}
+		if !progressed {
+			break
+		}
+	}
+	s.recomputeRates()
+}
+
+// releaseTime returns when data set q of string k enters the system.
+func (s *simulator) releaseTime(k, q int) float64 {
+	t := float64(q) * s.alloc.System().Strings[k].Period
+	if s.cfg.Phases != nil {
+		t += s.cfg.Phases[k]
+	}
+	return t
+}
+
+// enqueue adds data set q to application (k, i)'s FIFO queue, activating it
+// immediately if the application is idle.
+func (s *simulator) enqueue(k, i, q int) {
+	st := &s.apps[k][i]
+	st.queue = append(st.queue, pendingSet{q: q, queuedAt: s.now})
+	s.maybeStart(k, i)
+}
+
+// maybeStart promotes the head of the queue to the machine's active job set.
+func (s *simulator) maybeStart(k, i int) {
+	st := &s.apps[k][i]
+	if st.active != nil || len(st.queue) == 0 {
+		return
+	}
+	sys := s.alloc.System()
+	head := st.queue[0]
+	st.queue = st.queue[1:]
+	m := s.alloc.Machine(k, i)
+	app := &sys.Strings[k].Apps[i]
+	jb := &job{
+		k: k, i: i, q: head.q,
+		remaining: app.Work(m) * s.cfg.WorkloadScale,
+		rateCap:   app.NominalUtil[m],
+		priority:  s.rank[k],
+		queuedAt:  head.queuedAt,
+	}
+	st.active = jb
+	s.mach[m].jobs = append(s.mach[m].jobs, jb)
+}
+
+// completeJob records metrics and forwards the data set.
+func (s *simulator) completeJob(jb *job) {
+	sys := s.alloc.System()
+	str := &sys.Strings[jb.k]
+	comp := s.now - jb.queuedAt
+	s.compSum[jb.k][jb.i] += comp
+	if comp > s.compMax[jb.k][jb.i] {
+		s.compMax[jb.k][jb.i] = comp
+	}
+	s.count[jb.k][jb.i]++
+	if comp > str.Period*(1+1e-9) {
+		s.thrViol[jb.k]++
+	}
+	st := &s.apps[jb.k][jb.i]
+	st.active = nil
+	s.maybeStart(jb.k, jb.i) // next queued data set, if any
+
+	n := len(str.Apps)
+	if jb.i == n-1 {
+		s.completeDataSet(jb.k, jb.q)
+		return
+	}
+	j1 := s.alloc.Machine(jb.k, jb.i)
+	j2 := s.alloc.Machine(jb.k, jb.i+1)
+	if j1 == j2 {
+		// Intra-machine hop: zero transfer time, zero route usage.
+		s.tranSum[jb.k][jb.i] += 0
+		s.enqueue(jb.k, jb.i+1, jb.q)
+		return
+	}
+	tr := &transfer{
+		k: jb.k, i: jb.i, q: jb.q,
+		remainingMb: 8 * str.Apps[jb.i].OutputKB / 1000 * s.cfg.WorkloadScale,
+		priority:    s.rank[jb.k],
+		queuedAt:    s.now,
+	}
+	key := [2]int{j1, j2}
+	r := s.routes[key]
+	if r == nil {
+		r = &routeState{}
+		s.routes[key] = r
+	}
+	// Insert preserving priority order (preemptive: a tighter transfer
+	// jumps ahead of the current head and pauses it).
+	pos := sort.Search(len(r.transfers), func(x int) bool {
+		return r.transfers[x].priority > tr.priority
+	})
+	r.transfers = append(r.transfers, nil)
+	copy(r.transfers[pos+1:], r.transfers[pos:])
+	r.transfers[pos] = tr
+}
+
+// completeTransfer records metrics and enqueues the data set downstream.
+func (s *simulator) completeTransfer(tr *transfer) {
+	sys := s.alloc.System()
+	str := &sys.Strings[tr.k]
+	dur := s.now - tr.queuedAt
+	s.tranSum[tr.k][tr.i] += dur
+	if dur > s.tranMax[tr.k][tr.i] {
+		s.tranMax[tr.k][tr.i] = dur
+	}
+	if dur > str.Period*(1+1e-9) {
+		s.thrViol[tr.k]++
+	}
+	s.enqueue(tr.k, tr.i+1, tr.q)
+}
+
+// completeDataSet finalizes end-to-end metrics for data set q of string k.
+func (s *simulator) completeDataSet(k, q int) {
+	sys := s.alloc.System()
+	str := &sys.Strings[k]
+	released := s.releaseTime(k, q)
+	lat := s.now - released
+	s.latSum[k] += lat
+	if lat > s.latMax[k] {
+		s.latMax[k] = lat
+	}
+	if lat > str.MaxLatency*(1+1e-9) {
+		s.latViol[k]++
+	}
+	s.completed[k]++
+}
+
+// recomputeRates reassigns CPU rates on every machine: jobs in priority order
+// receive min(rateCap, remaining capacity).
+func (s *simulator) recomputeRates() {
+	for j := range s.mach {
+		jobs := s.mach[j].jobs
+		sort.Slice(jobs, func(a, b int) bool { return jobs[a].priority < jobs[b].priority })
+		capacity := 1.0
+		for _, jb := range jobs {
+			r := jb.rateCap
+			if r > capacity {
+				r = capacity
+			}
+			jb.rate = r
+			capacity -= r
+		}
+	}
+}
+
+func (s *simulator) result() *Result {
+	sys := s.alloc.System()
+	out := &Result{Strings: make([]StringStats, len(sys.Strings)), Duration: s.now, Events: s.events}
+	out.MachineBusySeconds = make([]float64, len(s.mach))
+	for j := range s.mach {
+		out.MachineBusySeconds[j] = s.mach[j].busy
+	}
+	for k := range sys.Strings {
+		n := len(sys.Strings[k].Apps)
+		st := StringStats{
+			Apps:                 make([]AppStats, n),
+			Completed:            s.completed[k],
+			MaxLatency:           s.latMax[k],
+			ThroughputViolations: s.thrViol[k],
+			LatencyViolations:    s.latViol[k],
+		}
+		if s.completed[k] > 0 {
+			st.MeanLatency = s.latSum[k] / float64(s.completed[k])
+		}
+		for i := 0; i < n; i++ {
+			a := AppStats{Count: s.count[k][i], MaxComp: s.compMax[k][i], MaxTran: s.tranMax[k][i]}
+			if a.Count > 0 {
+				a.MeanComp = s.compSum[k][i] / float64(a.Count)
+				a.MeanTran = s.tranSum[k][i] / float64(a.Count)
+			}
+			st.Apps[i] = a
+		}
+		out.Strings[k] = st
+		out.QoSViolations += st.ThroughputViolations + st.LatencyViolations
+	}
+	return out
+}

@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/feasibility"
+	"repro/internal/heuristics"
+	"repro/internal/model"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// figure2 builds the two-string shared-machine setup of Figure 2 (the same
+// construction the feasibility tests use) and returns the measured average
+// computation time of the lower-priority application.
+func figure2(t *testing.T, p1, p2, u1 float64, periods int) (measured, estimated float64) {
+	t.Helper()
+	sys := model.NewUniformSystem(2, 5)
+	a1 := model.UniformApp(2, 4, u1, 10)
+	sys.AddString(model.AppString{Worth: 10, Period: p1, MaxLatency: 5, Apps: []model.Application{a1}})
+	a2 := model.UniformApp(2, 2, 1.0, 10)
+	sys.AddString(model.AppString{Worth: 10, Period: p2, MaxLatency: 100, Apps: []model.Application{a2}})
+	alloc := feasibility.New(sys)
+	alloc.Assign(0, 0, 0)
+	alloc.Assign(1, 0, 0)
+	res, err := Run(alloc, Config{Periods: periods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strings[1].Apps[0].Count == 0 {
+		t.Fatal("no data sets completed")
+	}
+	return res.Strings[1].Apps[0].MeanComp, alloc.EstimatedCompTime(1, 0)
+}
+
+// TestFigure2Case1Simulated: equal periods, both applications at 100% CPU.
+// Every instance of the lower-priority application waits t1 = 4, so the mean
+// computation time matches equation (5) exactly: 6.
+func TestFigure2Case1Simulated(t *testing.T) {
+	measured, estimated := figure2(t, 10, 10, 1.0, 40)
+	if !approx(estimated, 6, 1e-9) {
+		t.Fatalf("estimate = %v, want 6 (premise)", estimated)
+	}
+	if !approx(measured, estimated, 1e-6) {
+		t.Errorf("simulated mean %v != analytic %v", measured, estimated)
+	}
+}
+
+// TestFigure2Case2Simulated: P1 = 2 P2, so only every other instance is
+// delayed; the average is t2 + t1/2 = 4.
+func TestFigure2Case2Simulated(t *testing.T) {
+	measured, estimated := figure2(t, 20, 10, 1.0, 40)
+	if !approx(estimated, 4, 1e-9) {
+		t.Fatalf("estimate = %v, want 4 (premise)", estimated)
+	}
+	if !approx(measured, estimated, 1e-6) {
+		t.Errorf("simulated mean %v != analytic %v", measured, estimated)
+	}
+}
+
+// TestFigure2Case3Simulated: as case 2 but the priority application can use
+// only 50% of the CPU, letting the other application run concurrently on the
+// remaining cycles: average t2 + (P2/P1)·u1·t1 = 3.
+func TestFigure2Case3Simulated(t *testing.T) {
+	measured, estimated := figure2(t, 20, 10, 0.5, 40)
+	if !approx(estimated, 3, 1e-9) {
+		t.Fatalf("estimate = %v, want 3 (premise)", estimated)
+	}
+	if !approx(measured, estimated, 1e-6) {
+		t.Errorf("simulated mean %v != analytic %v", measured, estimated)
+	}
+}
+
+// TestSoloStringNominalTimes: a string running alone must show exactly its
+// nominal computation and transfer times and no violations.
+func TestSoloStringNominalTimes(t *testing.T) {
+	sys := model.NewUniformSystem(2, 1) // 1 Mb/s: 100 KB takes 0.8 s
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 10,
+		Apps: []model.Application{
+			model.UniformApp(2, 3, 0.5, 100),
+			model.UniformApp(2, 2, 1.0, 50),
+		}})
+	alloc := feasibility.New(sys)
+	alloc.AssignString(0, []int{0, 1})
+	res, err := Run(alloc, Config{Periods: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Strings[0]
+	if st.Completed != 5 {
+		t.Fatalf("completed %d, want 5", st.Completed)
+	}
+	if !approx(st.Apps[0].MeanComp, 3, 1e-9) || !approx(st.Apps[1].MeanComp, 2, 1e-9) {
+		t.Errorf("computation times %v/%v, want 3/2", st.Apps[0].MeanComp, st.Apps[1].MeanComp)
+	}
+	if !approx(st.Apps[0].MeanTran, 0.8, 1e-9) {
+		t.Errorf("transfer time %v, want 0.8", st.Apps[0].MeanTran)
+	}
+	if !approx(st.MeanLatency, 3+0.8+2, 1e-9) || !approx(st.MaxLatency, 5.8, 1e-9) {
+		t.Errorf("latency %v/%v, want 5.8", st.MeanLatency, st.MaxLatency)
+	}
+	if res.QoSViolations != 0 {
+		t.Errorf("violations = %d, want 0", res.QoSViolations)
+	}
+	if res.Events == 0 || res.Duration < 5.8 {
+		t.Errorf("bookkeeping: events %d duration %v", res.Events, res.Duration)
+	}
+}
+
+// TestIntraMachinePipelineHasZeroTransfer: co-located applications hand off
+// instantly.
+func TestIntraMachinePipelineHasZeroTransfer(t *testing.T) {
+	sys := model.NewUniformSystem(2, 1)
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 10,
+		Apps: []model.Application{
+			model.UniformApp(2, 3, 1, 100),
+			model.UniformApp(2, 2, 1, 50),
+		}})
+	alloc := feasibility.New(sys)
+	alloc.AssignString(0, []int{1, 1})
+	res, err := Run(alloc, Config{Periods: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Strings[0].Apps[0].MeanTran; got != 0 {
+		t.Errorf("intra-machine transfer = %v, want 0", got)
+	}
+	if !approx(res.Strings[0].MeanLatency, 5, 1e-9) {
+		t.Errorf("latency %v, want 5", res.Strings[0].MeanLatency)
+	}
+}
+
+// TestRoutePriority: two transfers contending for one route; the tighter
+// string's transfer preempts and the looser one waits.
+func TestRoutePriority(t *testing.T) {
+	sys := model.NewUniformSystem(2, 1) // 1 Mb/s
+	// Both strings: app on machine 0, successor on machine 1, 100 KB out
+	// (0.8 s transfer). Computation is instant-ish so transfers collide.
+	mk := func(lmax float64) model.AppString {
+		return model.AppString{Worth: 10, Period: 10, MaxLatency: lmax,
+			Apps: []model.Application{
+				model.UniformApp(2, 0.001, 1, 100),
+				model.UniformApp(2, 0.001, 1, 10),
+			}}
+	}
+	sys.AddString(mk(2))   // tighter
+	sys.AddString(mk(100)) // looser
+	alloc := feasibility.New(sys)
+	alloc.AssignString(0, []int{0, 1})
+	alloc.AssignString(1, []int{0, 1})
+	res, err := Run(alloc, Config{Periods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := res.Strings[0].Apps[0].MeanTran
+	loose := res.Strings[1].Apps[0].MeanTran
+	if !approx(tight, 0.8, 1e-6) {
+		t.Errorf("tight transfer %v, want 0.8 (never waits)", tight)
+	}
+	// The loose string's computation finishes 0.001 s after the tight one's
+	// (the shared CPU serializes them), so its transfer waits the remaining
+	// 0.799 s of the tight transfer: 0.799 + 0.8 = 1.599.
+	if !approx(loose, 1.599, 1e-6) {
+		t.Errorf("loose transfer %v, want 1.599 (waits behind the tight one)", loose)
+	}
+}
+
+// TestViolationsDetected: an overloaded machine must produce throughput and
+// latency violations.
+func TestViolationsDetected(t *testing.T) {
+	sys := model.NewUniformSystem(1, 5)
+	// Two full-CPU apps with t=8, P=10 on one machine: the looser one takes
+	// 16 s > P and > Lmax.
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 9,
+		Apps: []model.Application{model.UniformApp(1, 8, 1, 0)}})
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 100,
+		Apps: []model.Application{model.UniformApp(1, 8, 1, 0)}})
+	alloc := feasibility.New(sys)
+	alloc.Assign(0, 0, 0)
+	alloc.Assign(1, 0, 0)
+	res, err := Run(alloc, Config{Periods: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strings[1].ThroughputViolations == 0 {
+		t.Error("expected throughput violations for the loose string")
+	}
+	if res.QoSViolations == 0 {
+		t.Error("expected total violations")
+	}
+}
+
+// TestWorkloadScaleInducesViolations (robustness shape): a feasible
+// allocation stays clean at scale 1 and degrades once the scale exceeds the
+// slack headroom.
+func TestWorkloadScaleInducesViolations(t *testing.T) {
+	sys := model.NewUniformSystem(1, 5)
+	// Single app: t = 6, u = 1, P = 10. Alone: fine at scale 1; at scale 2
+	// work = 12 > P = 10 -> throughput violations.
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 50,
+		Apps: []model.Application{model.UniformApp(1, 6, 1, 0)}})
+	alloc := feasibility.New(sys)
+	alloc.Assign(0, 0, 0)
+	clean, err := Run(alloc, Config{Periods: 5, WorkloadScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.QoSViolations != 0 {
+		t.Fatalf("scale 1 produced %d violations", clean.QoSViolations)
+	}
+	hot, err := Run(alloc, Config{Periods: 5, WorkloadScale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.QoSViolations == 0 {
+		t.Error("scale 2 produced no violations")
+	}
+	// At scale 2 each instance needs 12 s of service but arrives every 10 s,
+	// so the FIFO backlog grows by 2 s per period: computation times are
+	// 12, 14, 16, 18, 20 with mean 16.
+	if !approx(hot.Strings[0].Apps[0].MeanComp, 16, 1e-9) {
+		t.Errorf("scaled mean computation %v, want 16 (backlog growth)", hot.Strings[0].Apps[0].MeanComp)
+	}
+	if !approx(hot.Strings[0].Apps[0].MaxComp, 20, 1e-9) {
+		t.Errorf("scaled max computation %v, want 20", hot.Strings[0].Apps[0].MaxComp)
+	}
+}
+
+// TestIncompleteStringsIgnored: partially mapped strings are not deployed.
+func TestIncompleteStringsIgnored(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 100,
+		Apps: []model.Application{model.UniformApp(2, 1, 1, 10), model.UniformApp(2, 1, 1, 10)}})
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 100,
+		Apps: []model.Application{model.UniformApp(2, 1, 1, 10)}})
+	alloc := feasibility.New(sys)
+	alloc.Assign(0, 0, 0) // string 0 incomplete
+	alloc.Assign(1, 0, 1)
+	res, err := Run(alloc, Config{Periods: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strings[0].Completed != 0 || res.Strings[0].Apps[0].Count != 0 {
+		t.Error("incomplete string was simulated")
+	}
+	if res.Strings[1].Completed != 2 {
+		t.Errorf("complete string finished %d data sets, want 2", res.Strings[1].Completed)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	sys := model.NewUniformSystem(1, 5)
+	sys.AddString(model.AppString{Worth: 1, Period: 10, MaxLatency: 10,
+		Apps: []model.Application{model.UniformApp(1, 1, 1, 0)}})
+	alloc := feasibility.New(sys)
+	alloc.Assign(0, 0, 0)
+	if _, err := Run(alloc, Config{Periods: -1}); err == nil {
+		t.Error("negative periods accepted")
+	}
+	if _, err := Run(alloc, Config{WorkloadScale: -2}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+// TestFeasibleAllocationSimulatesWithFewViolations (integration): a mapping
+// that passes the two-stage analysis should replay with no violations at
+// the planned workload. The analysis uses conservative average waiting
+// times; we assert zero latency violations and allow no throughput
+// violations either on these comfortably feasible random instances.
+func TestFeasibleAllocationSimulatesCleanly(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 5; trial++ {
+		sys := model.NewUniformSystem(3, 5+5*rng.Float64())
+		for k := 0; k < 6; k++ {
+			n := 1 + rng.Intn(3)
+			apps := make([]model.Application, n)
+			for i := range apps {
+				apps[i] = model.UniformApp(3, 1+2*rng.Float64(), 0.2+0.3*rng.Float64(), 10+40*rng.Float64())
+			}
+			sys.AddString(model.AppString{Worth: 10, Period: 30, MaxLatency: 60, Apps: apps})
+		}
+		r := heuristics.MWF(sys)
+		if r.NumMapped == 0 {
+			t.Fatalf("trial %d: nothing mapped (premise broken)", trial)
+		}
+		res, err := Run(r.Alloc, Config{Periods: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.QoSViolations != 0 {
+			t.Errorf("trial %d: feasible mapping produced %d violations in simulation", trial, res.QoSViolations)
+		}
+	}
+}
+
+// TestPhasesShiftReleases: a phase offset delays every release and hence the
+// measured latencies' reference points; a phased lower-priority string that
+// would collide at alignment avoids the wait entirely.
+func TestPhasesShiftReleases(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	a1 := model.UniformApp(2, 4, 1.0, 10)
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 5, Apps: []model.Application{a1}})
+	a2 := model.UniformApp(2, 2, 1.0, 10)
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 100, Apps: []model.Application{a2}})
+	alloc := feasibility.New(sys)
+	alloc.Assign(0, 0, 0)
+	alloc.Assign(1, 0, 0)
+	// Aligned: the loose string waits the full 4 s every period (case 1).
+	aligned, err := Run(alloc, Config{Periods: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(aligned.Strings[1].Apps[0].MeanComp, 6, 1e-9) {
+		t.Fatalf("aligned mean %v, want 6", aligned.Strings[1].Apps[0].MeanComp)
+	}
+	// Phase the loose string past the tight one's burst: releases at 4, 14,
+	// 24 ... find an idle CPU and finish in the nominal 2 s.
+	phased, err := Run(alloc, Config{Periods: 10, Phases: []float64{0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(phased.Strings[1].Apps[0].MeanComp, 2, 1e-9) {
+		t.Errorf("phased mean %v, want 2 (no collision)", phased.Strings[1].Apps[0].MeanComp)
+	}
+	// The paper's aligned assumption is the worst case here.
+	if phased.Strings[1].Apps[0].MeanComp > aligned.Strings[1].Apps[0].MeanComp {
+		t.Error("phasing made things worse than the aligned worst case")
+	}
+}
+
+func TestPhaseValidation(t *testing.T) {
+	sys := model.NewUniformSystem(1, 5)
+	sys.AddString(model.AppString{Worth: 1, Period: 10, MaxLatency: 100,
+		Apps: []model.Application{model.UniformApp(1, 1, 1, 0)}})
+	alloc := feasibility.New(sys)
+	alloc.Assign(0, 0, 0)
+	if _, err := Run(alloc, Config{Phases: []float64{1, 2}}); err == nil {
+		t.Error("phase length mismatch accepted")
+	}
+	if _, err := Run(alloc, Config{Phases: []float64{-1}}); err == nil {
+		t.Error("negative phase accepted")
+	}
+	if _, err := Run(alloc, Config{Phases: []float64{math.NaN()}}); err == nil {
+		t.Error("NaN phase accepted")
+	}
+}
+
+// TestCPUWorkConservation: the busy time accumulated on each machine equals
+// the total CPU work of the data sets released onto it — an exact invariant
+// because the simulation drains all work, linking the simulator to the
+// analytic demand terms of equation (2).
+func TestCPUWorkConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5; trial++ {
+		sys := model.NewUniformSystem(3, 2+8*rng.Float64())
+		for k := 0; k < 5; k++ {
+			n := 1 + rng.Intn(3)
+			apps := make([]model.Application, n)
+			for i := range apps {
+				apps[i] = model.UniformApp(3, 1+3*rng.Float64(), 0.2+0.5*rng.Float64(), 10+40*rng.Float64())
+			}
+			sys.AddString(model.AppString{Worth: 10, Period: 25, MaxLatency: 100, Apps: apps})
+		}
+		alloc := feasibility.New(sys)
+		for k := range sys.Strings {
+			for i := range sys.Strings[k].Apps {
+				alloc.Assign(k, i, rng.Intn(3))
+			}
+		}
+		const periods = 4
+		scale := 1 + rng.Float64()
+		res, err := Run(alloc, Config{Periods: periods, WorkloadScale: scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < sys.Machines; j++ {
+			want := 0.0
+			for k := range sys.Strings {
+				for i := range sys.Strings[k].Apps {
+					if alloc.Machine(k, i) == j {
+						want += sys.Strings[k].Apps[i].Work(j) * scale * periods
+					}
+				}
+			}
+			if !approx(res.MachineBusySeconds[j], want, 1e-6*(1+want)) {
+				t.Fatalf("trial %d machine %d: busy %v, want %v", trial, j, res.MachineBusySeconds[j], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interior-point solver: Section 7 of the paper offers two ways to solve the
+// upper-bound LP — "the Simplex algorithm [12] or one of the interior-points
+// methods [18]" (Gonzaga's path-following survey). This file implements the
+// second: an infeasible primal-dual path-following method with Mehrotra's
+// predictor-corrector steps. The Newton systems are reduced to the normal
+// equations A·D²·Aᵀ·∆y = r (D² = X·S⁻¹), assembled from the sparse columns
+// and factorized with a dense Cholesky decomposition; a tiny diagonal
+// regularization keeps the factorization stable when constraint rows are
+// linearly dependent.
+//
+// The method assumes a feasible, bounded LP (true of the worth bounds by
+// construction; the slackness bound can be infeasible, for which Solve — the
+// revised simplex — remains the robust default). Failure to converge within
+// the iteration budget returns an error rather than a wrong answer.
+
+const (
+	ipmMaxIter = 200
+	ipmTol     = 1e-8
+	// ipmStepScale keeps iterates strictly interior.
+	ipmStepScale = 0.995
+)
+
+// SolveInterior solves the problem with the primal-dual interior-point
+// method. The returned solution is optimal to tolerance ipmTol; statuses
+// Infeasible/Unbounded are not distinguished (an error is returned instead),
+// so callers needing those should use Solve.
+func (p *Problem) SolveInterior() (*Solution, error) {
+	if len(p.cons) == 0 {
+		return trivialSolution(p), nil
+	}
+	// Equality standard form without artificials: minimize cmin·x subject to
+	// Ax = b, x >= 0, where maximization flips the sign of the objective.
+	s := standardizeInterior(p)
+	n, m := s.n, s.m
+
+	x := make([]float64, n)
+	sv := make([]float64, n) // dual slacks
+	y := make([]float64, m)
+	for j := 0; j < n; j++ {
+		x[j] = 1
+		sv[j] = 1
+	}
+	// Crude but effective starting scale: match the magnitudes of b and c.
+	scale := 1.0
+	for _, v := range s.b {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	for j := 0; j < n; j++ {
+		x[j] = scale
+		sv[j] = 1 + math.Abs(s.c[j])
+	}
+
+	rp := make([]float64, m) // b - Ax
+	rd := make([]float64, n) // c - A'y - s
+	dx := make([]float64, n)
+	dy := make([]float64, m)
+	ds := make([]float64, n)
+	dxc := make([]float64, n)
+	dyc := make([]float64, m)
+	dsc := make([]float64, n)
+	d2 := make([]float64, n)
+	rhs := make([]float64, m)
+	normB := 1 + vecInf(s.b)
+	normC := 1 + vecInf(s.c)
+
+	iters := 0
+	for ; iters < ipmMaxIter; iters++ {
+		// Residuals.
+		s.residuals(x, y, sv, rp, rd)
+		mu := dot(x, sv) / float64(n)
+		if vecInf(rp) <= ipmTol*normB && vecInf(rd) <= ipmTol*normC && mu <= ipmTol {
+			break
+		}
+		// Newton scaling matrix.
+		for j := 0; j < n; j++ {
+			d2[j] = x[j] / sv[j]
+		}
+		chol, err := s.factorNormal(d2)
+		if err != nil {
+			return nil, fmt.Errorf("simplex: interior point: %w", err)
+		}
+		// Predictor (affine scaling) direction:
+		//   M dy = rp + A D² (rd - s)   with complementarity target 0.
+		for i := 0; i < m; i++ {
+			rhs[i] = rp[i]
+		}
+		s.addADx(rhs, d2, rd, x, sv, nil, 0)
+		chol.solve(rhs, dy)
+		s.recoverDirections(d2, dy, rd, x, sv, nil, 0, dx, ds)
+		alphaP := stepLength(x, dx)
+		alphaD := stepLength(sv, ds)
+		// Mehrotra centering parameter.
+		muAff := 0.0
+		for j := 0; j < n; j++ {
+			muAff += (x[j] + alphaP*dx[j]) * (sv[j] + alphaD*ds[j])
+		}
+		muAff /= float64(n)
+		sigma := math.Pow(muAff/mu, 3)
+		// Corrector: complementarity target sigma*mu - dx_aff*ds_aff.
+		for i := 0; i < m; i++ {
+			rhs[i] = rp[i]
+		}
+		s.addADx(rhs, d2, rd, x, sv, dxdsProduct(dx, ds), sigma*mu)
+		chol.solve(rhs, dyc)
+		s.recoverDirections(d2, dyc, rd, x, sv, dxdsProduct(dx, ds), sigma*mu, dxc, dsc)
+		alphaP = ipmStepScale * stepLength(x, dxc)
+		alphaD = ipmStepScale * stepLength(sv, dsc)
+		for j := 0; j < n; j++ {
+			x[j] += alphaP * dxc[j]
+			sv[j] += alphaD * dsc[j]
+		}
+		for i := 0; i < m; i++ {
+			y[i] += alphaD * dyc[i]
+		}
+	}
+	if iters >= ipmMaxIter {
+		return nil, fmt.Errorf("simplex: interior point did not converge in %d iterations (infeasible, unbounded, or ill-conditioned; use Solve)", ipmMaxIter)
+	}
+	out := &Solution{Status: Optimal, Iterations: iters}
+	out.X = make([]float64, p.numCols)
+	for j := 0; j < p.numCols && j < n; j++ {
+		v := x[j]
+		if v < 0 {
+			v = 0
+		}
+		out.X[j] = v
+	}
+	out.Objective = p.Value(out.X)
+	return out, nil
+}
+
+// iStandard is the equality form used by the interior-point method:
+// minimize c·x s.t. Ax = b, x >= 0 (structural columns first, then
+// slack/surplus columns).
+type iStandard struct {
+	m, n    int
+	colRows [][]int32
+	colVals [][]float64
+	rowCols [][]int32 // row-wise view for products
+	rowVals [][]float64
+	b       []float64
+	c       []float64 // minimization costs
+}
+
+func standardizeInterior(p *Problem) *iStandard {
+	m := len(p.cons)
+	s := &iStandard{m: m, b: make([]float64, m)}
+	s.colRows = make([][]int32, p.numCols, p.numCols+m)
+	s.colVals = make([][]float64, p.numCols, p.numCols+m)
+	for i, con := range p.cons {
+		s.b[i] = con.RHS
+		for idx, ccol := range con.Cols {
+			s.colRows[ccol] = append(s.colRows[ccol], int32(i))
+			s.colVals[ccol] = append(s.colVals[ccol], con.Vals[idx])
+		}
+	}
+	for i, con := range p.cons {
+		switch con.Rel {
+		case LE:
+			s.colRows = append(s.colRows, []int32{int32(i)})
+			s.colVals = append(s.colVals, []float64{1})
+		case GE:
+			s.colRows = append(s.colRows, []int32{int32(i)})
+			s.colVals = append(s.colVals, []float64{-1})
+		}
+	}
+	s.n = len(s.colRows)
+	s.c = make([]float64, s.n)
+	for j := 0; j < p.numCols; j++ {
+		s.c[j] = -p.obj[j] // maximize -> minimize
+	}
+	// Row-wise view.
+	s.rowCols = make([][]int32, m)
+	s.rowVals = make([][]float64, m)
+	for j := 0; j < s.n; j++ {
+		for idx, r := range s.colRows[j] {
+			s.rowCols[r] = append(s.rowCols[r], int32(j))
+			s.rowVals[r] = append(s.rowVals[r], s.colVals[j][idx])
+		}
+	}
+	return s
+}
+
+// residuals fills rp = b - Ax and rd = c - Aᵀy - s.
+func (s *iStandard) residuals(x, y, sv, rp, rd []float64) {
+	copy(rp, s.b)
+	for j := 0; j < s.n; j++ {
+		xv := x[j]
+		if xv != 0 {
+			for idx, r := range s.colRows[j] {
+				rp[r] -= s.colVals[j][idx] * xv
+			}
+		}
+		aty := 0.0
+		for idx, r := range s.colRows[j] {
+			aty += s.colVals[j][idx] * y[r]
+		}
+		rd[j] = s.c[j] - aty - sv[j]
+	}
+}
+
+// dxdsProduct packages the affine products for the corrector; nil means the
+// predictor's zero target.
+func dxdsProduct(dx, ds []float64) []float64 {
+	out := make([]float64, len(dx))
+	for j := range dx {
+		out[j] = dx[j] * ds[j]
+	}
+	return out
+}
+
+// addADx adds A·D²·(rd - comp/x) to rhs, where the complementarity residual
+// for column j is (x_j s_j + corr_j - target)/x_j expressed via the standard
+// reduction: rhs += A D² (rd - (target - corr)/x + s) ... concretely each
+// column contributes d2_j*(rd_j + s_j - (target - corr_j)/x_j) to its rows.
+func (s *iStandard) addADx(rhs, d2, rd, x, sv, corr []float64, target float64) {
+	for j := 0; j < s.n; j++ {
+		comp := -x[j] * sv[j]
+		if corr != nil {
+			comp -= corr[j]
+		}
+		comp += target // complementarity residual target - x s - corr
+		// Newton: S dx + X ds = comp  =>  ds = (comp - S dx)/X.
+		// Substituting into dual feasibility gives the column factor:
+		f := d2[j] * (rd[j] - comp/x[j])
+		if f != 0 {
+			for idx, r := range s.colRows[j] {
+				rhs[r] += s.colVals[j][idx] * f
+			}
+		}
+	}
+}
+
+// recoverDirections computes dx and ds from dy.
+func (s *iStandard) recoverDirections(d2, dy, rd, x, sv, corr []float64, target float64, dx, ds []float64) {
+	for j := 0; j < s.n; j++ {
+		aty := 0.0
+		for idx, r := range s.colRows[j] {
+			aty += s.colVals[j][idx] * dy[r]
+		}
+		comp := -x[j]*sv[j] + target
+		if corr != nil {
+			comp -= corr[j]
+		}
+		// ds = rd - A'dy ; dx = (comp - X ds)/S.
+		ds[j] = rd[j] - aty
+		dx[j] = (comp - x[j]*ds[j]) / sv[j]
+	}
+}
+
+// factorNormal assembles M = A·D²·Aᵀ + δI and computes its Cholesky factor.
+func (s *iStandard) factorNormal(d2 []float64) (*cholFactor, error) {
+	m := s.m
+	M := make([][]float64, m)
+	for i := range M {
+		M[i] = make([]float64, m)
+	}
+	for j := 0; j < s.n; j++ {
+		dj := d2[j]
+		rows := s.colRows[j]
+		vals := s.colVals[j]
+		for a := 0; a < len(rows); a++ {
+			va := dj * vals[a]
+			ra := rows[a]
+			for bIdx := 0; bIdx < len(rows); bIdx++ {
+				M[ra][rows[bIdx]] += va * vals[bIdx]
+			}
+		}
+	}
+	// Regularize: dependent rows otherwise make M singular.
+	maxDiag := 0.0
+	for i := 0; i < m; i++ {
+		maxDiag = math.Max(maxDiag, M[i][i])
+	}
+	delta := 1e-12 * (1 + maxDiag)
+	for i := 0; i < m; i++ {
+		M[i][i] += delta
+	}
+	return cholesky(M)
+}
+
+// cholFactor is a lower-triangular Cholesky factor.
+type cholFactor struct {
+	l [][]float64
+}
+
+// cholesky factorizes a symmetric positive (semi)definite matrix in place.
+func cholesky(M [][]float64) (*cholFactor, error) {
+	m := len(M)
+	for i := 0; i < m; i++ {
+		for j := 0; j <= i; j++ {
+			sum := M[i][j]
+			row := M[i]
+			rj := M[j]
+			for k := 0; k < j; k++ {
+				sum -= row[k] * rj[k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("normal matrix not positive definite at row %d (%v)", i, sum)
+				}
+				M[i][i] = math.Sqrt(sum)
+			} else {
+				M[i][j] = sum / M[j][j]
+			}
+		}
+		for j := i + 1; j < m; j++ {
+			M[i][j] = 0
+		}
+	}
+	return &cholFactor{l: M}, nil
+}
+
+// solve computes out = M⁻¹ rhs using the factor (forward then back
+// substitution). rhs is not modified.
+func (c *cholFactor) solve(rhs, out []float64) {
+	m := len(c.l)
+	// Forward: L z = rhs.
+	z := out // reuse storage
+	for i := 0; i < m; i++ {
+		sum := rhs[i]
+		row := c.l[i]
+		for k := 0; k < i; k++ {
+			sum -= row[k] * z[k]
+		}
+		z[i] = sum / row[i]
+	}
+	// Back: Lᵀ out = z.
+	for i := m - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < m; k++ {
+			sum -= c.l[k][i] * z[k]
+		}
+		z[i] = sum / c.l[i][i]
+	}
+}
+
+// stepLength returns the largest alpha in (0, 1] with v + alpha*dv >= 0.
+func stepLength(v, dv []float64) float64 {
+	alpha := 1.0
+	for j := range v {
+		if dv[j] < 0 {
+			if a := -v[j] / dv[j]; a < alpha {
+				alpha = a
+			}
+		}
+	}
+	return alpha
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func vecInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

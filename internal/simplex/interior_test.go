@@ -1,0 +1,121 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInteriorTextbookLP(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 5)
+	p.MustAddConstraint([]int{0}, []float64{1}, LE, 4)
+	p.MustAddConstraint([]int{1}, []float64{2}, LE, 12)
+	p.MustAddConstraint([]int{0, 1}, []float64{3, 2}, LE, 18)
+	sol, err := p.SolveInterior()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 36, 1e-5) {
+		t.Errorf("objective %v, want 36", sol.Objective)
+	}
+	if !approx(sol.X[0], 2, 1e-4) || !approx(sol.X[1], 6, 1e-4) {
+		t.Errorf("x = %v, want (2, 6)", sol.X)
+	}
+	if sol.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestInteriorEqualityAndGE(t *testing.T) {
+	// max x + 2y s.t. x + y = 5, y <= 3, x >= 1 -> (2, 3), objective 8.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 2)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 5)
+	p.MustAddConstraint([]int{1}, []float64{1}, LE, 3)
+	p.MustAddConstraint([]int{0}, []float64{1}, GE, 1)
+	sol, err := p.SolveInterior()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 8, 1e-5) {
+		t.Errorf("objective %v, want 8", sol.Objective)
+	}
+	if res := p.Residual(sol.X); res > 1e-5 {
+		t.Errorf("residual %v", res)
+	}
+}
+
+func TestInteriorRedundantRows(t *testing.T) {
+	// Duplicated equality rows: the normal matrix is singular without
+	// regularization.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 5)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 5)
+	p.MustAddConstraint([]int{0}, []float64{1}, LE, 4)
+	sol, err := p.SolveInterior()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 5, 1e-5) {
+		t.Errorf("objective %v, want 5", sol.Objective)
+	}
+}
+
+func TestInteriorNoConstraints(t *testing.T) {
+	p := NewProblem(1)
+	sol, err := p.SolveInterior()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("%v %v", err, sol)
+	}
+}
+
+func TestInteriorDoesNotConvergeOnUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.MustAddConstraint([]int{0}, []float64{1}, GE, 1)
+	if _, err := p.SolveInterior(); err == nil {
+		t.Error("unbounded LP reported as solved")
+	}
+}
+
+// TestInteriorMatchesSimplex: the headline cross-validation — on random
+// feasible bounded LPs, the interior-point optimum agrees with the revised
+// simplex to tolerance, and its point is primal feasible.
+func TestInteriorMatchesSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	solved := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(7)
+		m := 1 + rng.Intn(7)
+		p, _ := randomFeasibleLP(rng, n, m)
+		want, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Status != Optimal {
+			continue
+		}
+		got, err := p.SolveInterior()
+		if err != nil {
+			// Degenerate random instances can stall the IPM; they must be
+			// rare.
+			continue
+		}
+		solved++
+		tol := 1e-4 * (1 + math.Abs(want.Objective))
+		if math.Abs(got.Objective-want.Objective) > tol {
+			t.Fatalf("trial %d: interior %v vs simplex %v", trial, got.Objective, want.Objective)
+		}
+		if res := p.Residual(got.X); res > 1e-4 {
+			t.Fatalf("trial %d: interior point infeasible, residual %v", trial, res)
+		}
+	}
+	if solved < 50 {
+		t.Errorf("interior point solved only %d/60 random LPs", solved)
+	}
+}

@@ -1,0 +1,224 @@
+// Package simplex is a self-contained linear-programming solver used to
+// compute the upper bounds of Section 7 of Shestak et al. (IPPS 2005), which
+// the paper obtained from the commercial package Lingo 9.0. It implements the
+// two-phase primal simplex method (Dantzig 1963) in two interchangeable
+// forms:
+//
+//   - a dense-tableau solver (SolveDense), simple enough to audit by hand and
+//     used as the reference implementation in cross-validation tests;
+//   - a revised simplex with an explicitly maintained dense basis inverse and
+//     sparse column storage (Solve), the production path for the larger
+//     upper-bound LPs, with periodic refactorization to bound numerical
+//     drift.
+//
+// Problems are stated as: maximize cᵀx subject to linear constraints with
+// relations ≤, ≥, =, and x ≥ 0. Minimization is achieved by negating the
+// objective.
+package simplex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Relation is a constraint sense.
+type Relation int8
+
+const (
+	// LE is "left side ≤ right side".
+	LE Relation = iota
+	// GE is "left side ≥ right side".
+	GE
+	// EQ is "left side = right side".
+	EQ
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int8(r))
+	}
+}
+
+// Constraint is one linear constraint in sparse form: the dot product of Vals
+// with the variables indexed by Cols, related to RHS.
+type Constraint struct {
+	Cols []int
+	Vals []float64
+	Rel  Relation
+	RHS  float64
+}
+
+// Problem is a linear program over NumCols non-negative variables.
+type Problem struct {
+	numCols int
+	obj     []float64
+	cons    []Constraint
+}
+
+// NewProblem creates a maximization LP with n non-negative variables and an
+// all-zero objective.
+func NewProblem(n int) *Problem {
+	if n < 1 {
+		panic(fmt.Sprintf("simplex: problem needs at least one variable, got %d", n))
+	}
+	return &Problem{numCols: n, obj: make([]float64, n)}
+}
+
+// NumCols returns the number of structural variables.
+func (p *Problem) NumCols() int { return p.numCols }
+
+// NumRows returns the number of constraints added so far.
+func (p *Problem) NumRows() int { return len(p.cons) }
+
+// SetObjective sets the maximization coefficient of variable col.
+func (p *Problem) SetObjective(col int, coeff float64) {
+	p.checkCol(col)
+	p.obj[col] = coeff
+}
+
+// AddObjective adds coeff to the maximization coefficient of variable col.
+func (p *Problem) AddObjective(col int, coeff float64) {
+	p.checkCol(col)
+	p.obj[col] += coeff
+}
+
+// Objective returns the coefficient of variable col.
+func (p *Problem) Objective(col int) float64 {
+	p.checkCol(col)
+	return p.obj[col]
+}
+
+func (p *Problem) checkCol(col int) {
+	if col < 0 || col >= p.numCols {
+		panic(fmt.Sprintf("simplex: column %d out of range [0,%d)", col, p.numCols))
+	}
+}
+
+// AddConstraint appends a constraint. Duplicate column indices are merged by
+// summing their coefficients. Non-finite coefficients or right sides are
+// rejected.
+func (p *Problem) AddConstraint(cols []int, vals []float64, rel Relation, rhs float64) error {
+	if len(cols) != len(vals) {
+		return fmt.Errorf("simplex: %d columns with %d values", len(cols), len(vals))
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("simplex: right side %v", rhs)
+	}
+	merged := make(map[int]float64, len(cols))
+	for idx, c := range cols {
+		if c < 0 || c >= p.numCols {
+			return fmt.Errorf("simplex: column %d out of range [0,%d)", c, p.numCols)
+		}
+		v := vals[idx]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("simplex: coefficient %v for column %d", v, c)
+		}
+		merged[c] += v
+	}
+	con := Constraint{Rel: rel, RHS: rhs}
+	keys := make([]int, 0, len(merged))
+	for c := range merged {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	for _, c := range keys {
+		if merged[c] != 0 {
+			con.Cols = append(con.Cols, c)
+			con.Vals = append(con.Vals, merged[c])
+		}
+	}
+	p.cons = append(p.cons, con)
+	return nil
+}
+
+// MustAddConstraint is AddConstraint that panics on error, for construction
+// code whose indices are correct by design.
+func (p *Problem) MustAddConstraint(cols []int, vals []float64, rel Relation, rhs float64) {
+	if err := p.AddConstraint(cols, vals, rel, rhs); err != nil {
+		panic(err)
+	}
+}
+
+// Status is a solve outcome.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies every constraint.
+	Infeasible
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64 // structural variable values; nil unless Optimal
+	// Duals holds one shadow price per constraint (in the order they were
+	// added): the rate of objective change per unit of right-hand side.
+	// Populated by the simplex solvers on Optimal; nil from SolveInterior.
+	Duals      []float64
+	Iterations int
+}
+
+// Residual returns the worst constraint violation of the solution against
+// the problem (0 for a perfectly feasible point): positive slack shortfalls
+// for inequalities and absolute mismatch for equalities, plus any negative
+// variable magnitude.
+func (p *Problem) Residual(x []float64) float64 {
+	worst := 0.0
+	for _, v := range x {
+		if v < 0 {
+			worst = math.Max(worst, -v)
+		}
+	}
+	for _, con := range p.cons {
+		lhs := 0.0
+		for idx, c := range con.Cols {
+			lhs += con.Vals[idx] * x[c]
+		}
+		switch con.Rel {
+		case LE:
+			worst = math.Max(worst, lhs-con.RHS)
+		case GE:
+			worst = math.Max(worst, con.RHS-lhs)
+		case EQ:
+			worst = math.Max(worst, math.Abs(lhs-con.RHS))
+		}
+	}
+	return worst
+}
+
+// Value evaluates the objective at x.
+func (p *Problem) Value(x []float64) float64 {
+	v := 0.0
+	for c, coeff := range p.obj {
+		if coeff != 0 {
+			v += coeff * x[c]
+		}
+	}
+	return v
+}

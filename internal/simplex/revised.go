@@ -1,0 +1,375 @@
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// Revised simplex with an explicitly maintained dense basis inverse and
+// sparse column storage: the production solver for the upper-bound LPs.
+// Per-iteration cost is O(m²) for BTRAN/FTRAN/update plus O(nnz) pricing —
+// far below the dense tableau's O(m·n) when n >> m — and the basis inverse is
+// refactorized from scratch periodically to bound numerical drift.
+
+// refactorEvery is the number of pivots between full refactorizations of the
+// basis inverse.
+const refactorEvery = 512
+
+// Solve solves the problem with the two-phase revised simplex.
+func (p *Problem) Solve() (*Solution, error) {
+	if len(p.cons) == 0 {
+		return trivialSolution(p), nil
+	}
+	s := standardize(p)
+	r := newRevised(s)
+	sol := &Solution{}
+	if s.hasArtificials() {
+		if err := r.run(s.phase1Cost(), true, &sol.Iterations); err != nil {
+			return nil, err
+		}
+		if r.objValue(s.phase1Cost()) < -feasTol {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		if err := r.driveOutArtificials(); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.run(s.cost, false, &sol.Iterations); err != nil {
+		if err == errUnbounded {
+			sol.Status = Unbounded
+			return sol, nil
+		}
+		return nil, err
+	}
+	sol.Status = Optimal
+	sol.X = r.extract()
+	sol.Objective = p.Value(sol.X)
+	sol.Duals = r.extractDuals(s.cost)
+	return sol, nil
+}
+
+type revised struct {
+	s     *standard
+	binv  [][]float64 // dense m×m basis inverse
+	basis []int
+	inB   []bool    // inB[j]: column j is basic
+	xB    []float64 // basic variable values
+	y     []float64 // scratch: dual prices
+	u     []float64 // scratch: FTRAN result
+	since int       // pivots since last refactorization
+}
+
+func newRevised(s *standard) *revised {
+	r := &revised{
+		s:     s,
+		binv:  make([][]float64, s.m),
+		basis: append([]int(nil), s.basis...),
+		inB:   make([]bool, s.n),
+		xB:    append([]float64(nil), s.b...),
+		y:     make([]float64, s.m),
+		u:     make([]float64, s.m),
+	}
+	for i := range r.binv {
+		r.binv[i] = make([]float64, s.m)
+		r.binv[i][i] = 1
+	}
+	for _, j := range r.basis {
+		r.inB[j] = true
+	}
+	return r
+}
+
+// btran computes y = c_Bᵀ B⁻¹ into r.y.
+func (r *revised) btran(cost []float64) {
+	m := r.s.m
+	for i := 0; i < m; i++ {
+		r.y[i] = 0
+	}
+	for row, bj := range r.basis {
+		cb := cost[bj]
+		if cb == 0 {
+			continue
+		}
+		binvRow := r.binv[row]
+		for i := 0; i < m; i++ {
+			r.y[i] += cb * binvRow[i]
+		}
+	}
+}
+
+// reducedCost returns c_j - yᵀ A_j using the sparse column.
+func (r *revised) reducedCost(cost []float64, j int) float64 {
+	d := cost[j]
+	rows, vals := r.s.colRows[j], r.s.colVals[j]
+	for idx, row := range rows {
+		d -= r.y[row] * vals[idx]
+	}
+	return d
+}
+
+// ftran computes u = B⁻¹ A_j into r.u, exploiting column sparsity.
+func (r *revised) ftran(j int) {
+	m := r.s.m
+	for i := 0; i < m; i++ {
+		r.u[i] = 0
+	}
+	rows, vals := r.s.colRows[j], r.s.colVals[j]
+	for idx, row := range rows {
+		v := vals[idx]
+		if v == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			r.u[i] += v * r.binv[i][row]
+		}
+	}
+}
+
+// run pivots until optimality for the given cost vector. In phase 2
+// artificial columns are barred from entering.
+func (r *revised) run(cost []float64, phase1 bool, iterations *int) error {
+	m := r.s.m
+	limitJ := r.s.n
+	if !phase1 {
+		limitJ = r.s.artStart
+	}
+	limit := 200*(m+r.s.n) + 20000
+	stall := 0
+	lastObj := r.objValue(cost)
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return errIterationLimit
+		}
+		r.btran(cost)
+		bland := stall > 2*m+50
+		enter, bestVal := -1, costTol
+		for j := 0; j < limitJ; j++ {
+			if r.inB[j] {
+				continue
+			}
+			d := r.reducedCost(cost, j)
+			if d > bestVal {
+				enter, bestVal = j, d
+				if bland {
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return nil
+		}
+		r.ftran(enter)
+		leave, theta := -1, 0.0
+		for i := 0; i < m; i++ {
+			ui := r.u[i]
+			if ui <= pivotTol {
+				continue
+			}
+			ratio := r.xB[i] / ui
+			if ratio < 0 {
+				ratio = 0 // clamp tiny negative basic values
+			}
+			if leave < 0 || ratio < theta-1e-12 ||
+				(ratio < theta+1e-12 && r.basis[i] < r.basis[leave]) {
+				leave, theta = i, ratio
+			}
+		}
+		if leave < 0 {
+			if phase1 {
+				return fmt.Errorf("simplex: phase 1 unbounded (numerical failure)")
+			}
+			return errUnbounded
+		}
+		r.pivot(leave, enter, theta)
+		*iterations++
+		obj := r.objValue(cost)
+		if obj > lastObj+1e-12 {
+			stall = 0
+			lastObj = obj
+		} else {
+			stall++
+		}
+		if r.since >= refactorEvery {
+			if err := r.refactorize(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// pivot replaces basis row `leave` with column `enter`, given the FTRAN
+// result in r.u and the ratio theta.
+func (r *revised) pivot(leave, enter int, theta float64) {
+	m := r.s.m
+	for i := 0; i < m; i++ {
+		if i != leave {
+			r.xB[i] -= theta * r.u[i]
+			if r.xB[i] < 0 && r.xB[i] > -1e-11 {
+				r.xB[i] = 0
+			}
+		}
+	}
+	r.xB[leave] = theta
+	// Eta update of the inverse: row `leave` scaled by 1/u_r, others swept.
+	pivotRow := r.binv[leave]
+	inv := 1 / r.u[leave]
+	for c := 0; c < m; c++ {
+		pivotRow[c] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := r.u[i]
+		if f == 0 {
+			continue
+		}
+		row := r.binv[i]
+		for c := 0; c < m; c++ {
+			row[c] -= f * pivotRow[c]
+		}
+	}
+	r.inB[r.basis[leave]] = false
+	r.inB[enter] = true
+	r.basis[leave] = enter
+	r.since++
+}
+
+// driveOutArtificials pivots artificial variables still basic (at zero) after
+// phase 1 out of the basis, or leaves them pinned at zero when their row is
+// redundant.
+func (r *revised) driveOutArtificials() error {
+	for row := 0; row < r.s.m; row++ {
+		if r.basis[row] < r.s.artStart {
+			continue
+		}
+		for j := 0; j < r.s.artStart; j++ {
+			if r.inB[j] {
+				continue
+			}
+			r.ftran(j)
+			if math.Abs(r.u[row]) > 1e-7 {
+				// Degenerate pivot: the artificial is at zero, so theta = 0
+				// preserves feasibility regardless of the pivot sign; the
+				// eta update needs u_row != 0, which ftran just provided.
+				r.pivot(row, j, 0)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// refactorize rebuilds the basis inverse from the basis columns by
+// Gauss-Jordan elimination with partial pivoting, and recomputes xB = B⁻¹ b.
+func (r *revised) refactorize() error {
+	m := r.s.m
+	// Dense B.
+	bmat := make([][]float64, m)
+	for i := range bmat {
+		bmat[i] = make([]float64, m)
+	}
+	for col, bj := range r.basis {
+		rows, vals := r.s.colRows[bj], r.s.colVals[bj]
+		for idx, row := range rows {
+			bmat[row][col] = vals[idx]
+		}
+	}
+	inv := identity(m)
+	for col := 0; col < m; col++ {
+		// Partial pivoting.
+		piv, best := -1, 0.0
+		for i := col; i < m; i++ {
+			if a := math.Abs(bmat[i][col]); a > best {
+				piv, best = i, a
+			}
+		}
+		if piv < 0 || best < 1e-12 {
+			return fmt.Errorf("simplex: basis singular during refactorization (column %d)", col)
+		}
+		bmat[col], bmat[piv] = bmat[piv], bmat[col]
+		inv[col], inv[piv] = inv[piv], inv[col]
+		f := 1 / bmat[col][col]
+		for c := 0; c < m; c++ {
+			bmat[col][c] *= f
+			inv[col][c] *= f
+		}
+		for i := 0; i < m; i++ {
+			if i == col {
+				continue
+			}
+			g := bmat[i][col]
+			if g == 0 {
+				continue
+			}
+			for c := 0; c < m; c++ {
+				bmat[i][c] -= g * bmat[col][c]
+				inv[i][c] -= g * inv[col][c]
+			}
+		}
+	}
+	// B⁻¹ maps equation rows to basis rows: columns of B were ordered by
+	// basis position, so inv rows correspond to basis positions directly.
+	r.binv = inv
+	// xB = B⁻¹ b.
+	for i := 0; i < m; i++ {
+		v := 0.0
+		row := r.binv[i]
+		for c := 0; c < m; c++ {
+			v += row[c] * r.s.b[c]
+		}
+		if v < 0 && v > -1e-9 {
+			v = 0
+		}
+		r.xB[i] = v
+	}
+	r.since = 0
+	return nil
+}
+
+func identity(m int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+		out[i][i] = 1
+	}
+	return out
+}
+
+// extractDuals returns y = c_B B^-1 with signs restored for rows negated
+// during standardization.
+func (r *revised) extractDuals(cost []float64) []float64 {
+	r.btran(cost)
+	duals := make([]float64, r.s.m)
+	for i := 0; i < r.s.m; i++ {
+		y := r.y[i]
+		if r.s.flip[i] {
+			y = -y
+		}
+		duals[i] = y
+	}
+	return duals
+}
+
+func (r *revised) objValue(cost []float64) float64 {
+	v := 0.0
+	for i, bj := range r.basis {
+		v += cost[bj] * r.xB[i]
+	}
+	return v
+}
+
+func (r *revised) extract() []float64 {
+	x := make([]float64, r.s.nStruct)
+	for i, bj := range r.basis {
+		if bj < r.s.nStruct {
+			v := r.xB[i]
+			if v < 0 {
+				v = 0
+			}
+			x[bj] = v
+		}
+	}
+	return x
+}

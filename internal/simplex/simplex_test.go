@@ -1,0 +1,441 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// solvers lets every test run against both implementations.
+var solvers = []struct {
+	name  string
+	solve func(*Problem) (*Solution, error)
+}{
+	{"dense", (*Problem).SolveDense},
+	{"revised", (*Problem).Solve},
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func solveBoth(t *testing.T, p *Problem, check func(name string, sol *Solution)) {
+	t.Helper()
+	for _, s := range solvers {
+		sol, err := s.solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		check(s.name, sol)
+	}
+}
+
+// Classic production LP: max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18;
+// optimum 36 at (2, 6).
+func TestTextbookLP(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 5)
+	p.MustAddConstraint([]int{0}, []float64{1}, LE, 4)
+	p.MustAddConstraint([]int{1}, []float64{2}, LE, 12)
+	p.MustAddConstraint([]int{0, 1}, []float64{3, 2}, LE, 18)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Optimal {
+			t.Fatalf("%s: status %v", name, sol.Status)
+		}
+		if !approx(sol.Objective, 36, 1e-8) {
+			t.Errorf("%s: objective %v, want 36", name, sol.Objective)
+		}
+		if !approx(sol.X[0], 2, 1e-8) || !approx(sol.X[1], 6, 1e-8) {
+			t.Errorf("%s: x = %v, want (2, 6)", name, sol.X)
+		}
+		if sol.Iterations == 0 {
+			t.Errorf("%s: zero iterations reported", name)
+		}
+	})
+}
+
+// Minimization via negated objective with a >= constraint (phase 1 path):
+// min 2x + 3y s.t. x + y >= 10 -> x = 10, y = 0, objective -20.
+func TestMinimizationWithGE(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, -2)
+	p.SetObjective(1, -3)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, GE, 10)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Optimal {
+			t.Fatalf("%s: status %v", name, sol.Status)
+		}
+		if !approx(sol.Objective, -20, 1e-8) {
+			t.Errorf("%s: objective %v, want -20", name, sol.Objective)
+		}
+	})
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + 2y s.t. x + y = 5, y <= 3 -> (2, 3), objective 8.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 2)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 5)
+	p.MustAddConstraint([]int{1}, []float64{1}, LE, 3)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Optimal || !approx(sol.Objective, 8, 1e-8) {
+			t.Errorf("%s: %v objective %v, want optimal 8", name, sol.Status, sol.Objective)
+		}
+	})
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.MustAddConstraint([]int{0}, []float64{1}, LE, 1)
+	p.MustAddConstraint([]int{0}, []float64{1}, GE, 2)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Infeasible {
+			t.Errorf("%s: status %v, want infeasible", name, sol.Status)
+		}
+	})
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.MustAddConstraint([]int{0}, []float64{1}, GE, 1)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Unbounded {
+			t.Errorf("%s: status %v, want unbounded", name, sol.Status)
+		}
+	})
+}
+
+func TestNoConstraints(t *testing.T) {
+	p := NewProblem(2)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Optimal || sol.Objective != 0 {
+			t.Errorf("%s: %v %v, want optimal 0", name, sol.Status, sol.Objective)
+		}
+	})
+	p.SetObjective(1, 2)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Unbounded {
+			t.Errorf("%s: status %v, want unbounded", name, sol.Status)
+		}
+	})
+}
+
+// TestNegativeRHS exercises the row-flipping path: max -x s.t. -x <= -3 means
+// x >= 3, so the optimum is -3.
+func TestNegativeRHS(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.MustAddConstraint([]int{0}, []float64{-1}, LE, -3)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Optimal || !approx(sol.Objective, -3, 1e-8) {
+			t.Errorf("%s: %v objective %v, want optimal -3", name, sol.Status, sol.Objective)
+		}
+	})
+}
+
+// TestBealeCycling runs Beale's classic cycling example; without
+// anti-cycling safeguards the textbook simplex loops forever. Optimum 1/20.
+func TestBealeCycling(t *testing.T) {
+	p := NewProblem(4)
+	p.SetObjective(0, 0.75)
+	p.SetObjective(1, -150)
+	p.SetObjective(2, 0.02)
+	p.SetObjective(3, -6)
+	p.MustAddConstraint([]int{0, 1, 2, 3}, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.MustAddConstraint([]int{0, 1, 2, 3}, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.MustAddConstraint([]int{2}, []float64{1}, LE, 1)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Optimal || !approx(sol.Objective, 0.05, 1e-8) {
+			t.Errorf("%s: %v objective %v, want optimal 0.05", name, sol.Status, sol.Objective)
+		}
+	})
+}
+
+// TestRedundantEquality forces an artificial variable to stay basic at zero
+// after phase 1 (duplicated equality row), exercising the drive-out path.
+func TestRedundantEquality(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 5)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 5)
+	p.MustAddConstraint([]int{0, 1}, []float64{2, 2}, EQ, 10)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Optimal || !approx(sol.Objective, 5, 1e-8) {
+			t.Errorf("%s: %v objective %v, want optimal 5", name, sol.Status, sol.Objective)
+		}
+		if res := p.Residual(sol.X); res > 1e-7 {
+			t.Errorf("%s: residual %v", name, res)
+		}
+	})
+}
+
+func TestDegenerateRHS(t *testing.T) {
+	// A vertex where multiple constraints are tight at 0.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, -1}, LE, 0)
+	p.MustAddConstraint([]int{0, 1}, []float64{-1, 1}, LE, 0)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, LE, 4)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if sol.Status != Optimal || !approx(sol.Objective, 4, 1e-8) {
+			t.Errorf("%s: %v objective %v, want optimal 4", name, sol.Status, sol.Objective)
+		}
+	})
+}
+
+func TestAddConstraintValidation(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.AddConstraint([]int{0}, []float64{1, 2}, LE, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := p.AddConstraint([]int{5}, []float64{1}, LE, 1); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if err := p.AddConstraint([]int{0}, []float64{math.NaN()}, LE, 1); err == nil {
+		t.Error("NaN coefficient accepted")
+	}
+	if err := p.AddConstraint([]int{0}, []float64{1}, LE, math.Inf(1)); err == nil {
+		t.Error("infinite right side accepted")
+	}
+	// Duplicate columns merge.
+	if err := p.AddConstraint([]int{0, 0, 1}, []float64{1, 2, 4}, LE, 9); err != nil {
+		t.Fatal(err)
+	}
+	con := p.cons[0]
+	if len(con.Cols) != 2 || con.Vals[0] != 3 || con.Vals[1] != 4 {
+		t.Errorf("duplicate merge wrong: %+v", con)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic(t, func() { NewProblem(0) })
+	p := NewProblem(1)
+	mustPanic(t, func() { p.SetObjective(2, 1) })
+	mustPanic(t, func() { p.Objective(-1) })
+	mustPanic(t, func() { p.MustAddConstraint([]int{9}, []float64{1}, LE, 0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestStrings(t *testing.T) {
+	for _, r := range []Relation{LE, GE, EQ, Relation(9)} {
+		if r.String() == "" {
+			t.Error("empty relation string")
+		}
+	}
+	for _, s := range []Status{Optimal, Infeasible, Unbounded, Status(9)} {
+		if s.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+}
+
+func TestAddObjectiveAccumulates(t *testing.T) {
+	p := NewProblem(1)
+	p.AddObjective(0, 1)
+	p.AddObjective(0, 2)
+	if p.Objective(0) != 3 {
+		t.Errorf("objective = %v, want 3", p.Objective(0))
+	}
+}
+
+// randomFeasibleLP builds an LP known to contain the feasible point x0, with
+// box bounds guaranteeing boundedness.
+func randomFeasibleLP(rng *rand.Rand, n, m int) (*Problem, []float64) {
+	p := NewProblem(n)
+	x0 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x0[j] = 5 * rng.Float64()
+		p.SetObjective(j, rng.NormFloat64())
+		p.MustAddConstraint([]int{j}, []float64{1}, LE, 10) // box bound
+	}
+	for i := 0; i < m; i++ {
+		nnz := 1 + rng.Intn(n)
+		cols := rng.Perm(n)[:nnz]
+		vals := make([]float64, nnz)
+		lhs := 0.0
+		for idx, c := range cols {
+			vals[idx] = rng.NormFloat64()
+			lhs += vals[idx] * x0[c]
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.MustAddConstraint(cols, vals, LE, lhs+rng.Float64())
+		case 1:
+			p.MustAddConstraint(cols, vals, GE, lhs-rng.Float64())
+		default:
+			p.MustAddConstraint(cols, vals, EQ, lhs)
+		}
+	}
+	return p, x0
+}
+
+// TestCrossValidation: on random feasible bounded LPs the two solvers must
+// agree on the optimal objective, produce feasible optima, and never fall
+// below the known feasible point's value.
+func TestCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(8)
+		p, x0 := randomFeasibleLP(rng, n, m)
+		dense, err := p.SolveDense()
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		revised, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d revised: %v", trial, err)
+		}
+		if dense.Status != Optimal || revised.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v / %v for a feasible bounded LP", trial, dense.Status, revised.Status)
+		}
+		if !approx(dense.Objective, revised.Objective, 1e-6*(1+math.Abs(dense.Objective))) {
+			t.Fatalf("trial %d: dense %v vs revised %v", trial, dense.Objective, revised.Objective)
+		}
+		for name, sol := range map[string]*Solution{"dense": dense, "revised": revised} {
+			if res := p.Residual(sol.X); res > 1e-6 {
+				t.Fatalf("trial %d %s: optimum infeasible, residual %v", trial, name, res)
+			}
+			if sol.Objective < p.Value(x0)-1e-6 {
+				t.Fatalf("trial %d %s: optimum %v below feasible value %v", trial, name, sol.Objective, p.Value(x0))
+			}
+			if !approx(p.Value(sol.X), sol.Objective, 1e-7*(1+math.Abs(sol.Objective))) {
+				t.Fatalf("trial %d %s: objective/value mismatch", trial, name)
+			}
+		}
+	}
+}
+
+// TestRefactorization forces the revised solver through at least one
+// refactorization by solving a problem needing many pivots.
+func TestRefactorizationPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 120
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetObjective(j, 1+rng.Float64())
+		p.MustAddConstraint([]int{j}, []float64{1}, LE, 1+rng.Float64())
+	}
+	// Coupling rows to force pivoting beyond the trivial basis.
+	for i := 0; i < n-1; i++ {
+		p.MustAddConstraint([]int{i, i + 1}, []float64{1, 1}, LE, 1.5)
+	}
+	dense, err := p.SolveDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	revised, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Status != Optimal || revised.Status != Optimal {
+		t.Fatalf("statuses %v / %v", dense.Status, revised.Status)
+	}
+	if !approx(dense.Objective, revised.Objective, 1e-6*(1+dense.Objective)) {
+		t.Fatalf("dense %v vs revised %v", dense.Objective, revised.Objective)
+	}
+}
+
+func TestResidualAndValue(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.MustAddConstraint([]int{0, 1}, []float64{1, 1}, LE, 3)
+	p.MustAddConstraint([]int{0}, []float64{1}, GE, 1)
+	p.MustAddConstraint([]int{1}, []float64{1}, EQ, 2)
+	x := []float64{1, 2}
+	if res := p.Residual(x); res != 0 {
+		t.Errorf("residual of feasible point = %v", res)
+	}
+	if v := p.Value(x); v != 2 {
+		t.Errorf("value = %v, want 2", v)
+	}
+	if res := p.Residual([]float64{0, 5}); !approx(res, 3, 1e-12) {
+		t.Errorf("residual = %v, want 3 (equality violated by 3, LE by 2, GE by 1)", res)
+	}
+	if res := p.Residual([]float64{-2, 2}); !approx(res, 3, 1e-12) {
+		t.Errorf("residual with negative variable = %v, want 3", res)
+	}
+}
+
+// TestDualsTextbook: for max 3x+5y s.t. x<=4, 2y<=12, 3x+2y<=18 the optimal
+// duals are (0, 3/2, 1): constraint 1 is slack, and the objective rises by
+// 3/2 and 1 per unit of the binding right sides.
+func TestDualsTextbook(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 5)
+	p.MustAddConstraint([]int{0}, []float64{1}, LE, 4)
+	p.MustAddConstraint([]int{1}, []float64{2}, LE, 12)
+	p.MustAddConstraint([]int{0, 1}, []float64{3, 2}, LE, 18)
+	solveBoth(t, p, func(name string, sol *Solution) {
+		if len(sol.Duals) != 3 {
+			t.Fatalf("%s: %d duals", name, len(sol.Duals))
+		}
+		want := []float64{0, 1.5, 1}
+		for i := range want {
+			if !approx(sol.Duals[i], want[i], 1e-8) {
+				t.Errorf("%s: dual[%d] = %v, want %v", name, i, sol.Duals[i], want[i])
+			}
+		}
+	})
+}
+
+// TestDualsStrongDualityAndSlackness: on random feasible bounded LPs both
+// solvers' duals satisfy strong duality (c'x = y'b) and complementary
+// slackness (y_i = 0 on slack rows).
+func TestDualsStrongDualityAndSlackness(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p, _ := randomFeasibleLP(rng, n, m)
+		for _, s := range solvers {
+			sol, err := s.solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Status != Optimal {
+				continue
+			}
+			yb := 0.0
+			for i, con := range p.cons {
+				yb += sol.Duals[i] * con.RHS
+				lhs := 0.0
+				for idx, c := range con.Cols {
+					lhs += con.Vals[idx] * sol.X[c]
+				}
+				slack := con.RHS - lhs
+				if con.Rel == GE {
+					slack = lhs - con.RHS
+				}
+				if con.Rel != EQ && math.Abs(sol.Duals[i]*slack) > 1e-5*(1+math.Abs(con.RHS)) {
+					t.Fatalf("trial %d %s: complementary slackness violated at row %d: y=%v slack=%v",
+						trial, s.name, i, sol.Duals[i], slack)
+				}
+				// Sign convention for maximization: LE duals >= 0, GE <= 0.
+				if con.Rel == LE && sol.Duals[i] < -1e-7 {
+					t.Fatalf("trial %d %s: negative LE dual %v", trial, s.name, sol.Duals[i])
+				}
+				if con.Rel == GE && sol.Duals[i] > 1e-7 {
+					t.Fatalf("trial %d %s: positive GE dual %v", trial, s.name, sol.Duals[i])
+				}
+			}
+			if !approx(yb, sol.Objective, 1e-5*(1+math.Abs(sol.Objective))) {
+				t.Fatalf("trial %d %s: strong duality broken: y'b=%v, c'x=%v", trial, s.name, yb, sol.Objective)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package simplex
+
+// Conversion to standard computational form: A x = b with b ≥ 0 and x ≥ 0,
+// where A gains slack, surplus, and artificial columns. Both solvers consume
+// this representation; the revised solver additionally relies on its sparse
+// column storage.
+
+// standard is a problem in equality standard form.
+type standard struct {
+	m, n    int // rows; total columns including slack/surplus/artificials
+	nStruct int // structural columns (the problem's own variables)
+
+	// Sparse column storage: colRows[j] lists the rows where column j is
+	// nonzero, colVals[j] the coefficients.
+	colRows [][]int32
+	colVals [][]float64
+
+	b    []float64 // right sides, all non-negative
+	cost []float64 // phase-2 objective (maximize), zero for non-structural
+
+	artStart int   // columns >= artStart are artificial
+	basis    []int // initial basis, one column per row (slacks/artificials)
+
+	// Dual bookkeeping: flip[i] records that original constraint i was
+	// negated to make b non-negative (its dual changes sign); rowAux[i] is
+	// the slack (LE) or surplus (GE) column of row i, -1 for EQ; rowArt[i]
+	// is the artificial column of row i, -1 for LE.
+	flip   []bool
+	rowAux []int
+	rowArt []int
+}
+
+// standardize converts the problem. Rows with negative right sides are
+// negated (flipping their relation) so b ≥ 0 throughout.
+func standardize(p *Problem) *standard {
+	m := len(p.cons)
+	s := &standard{
+		m:       m,
+		nStruct: p.numCols,
+		b:       make([]float64, m),
+		basis:   make([]int, m),
+		flip:    make([]bool, m),
+		rowAux:  make([]int, m),
+		rowArt:  make([]int, m),
+	}
+	for i := range s.rowAux {
+		s.rowAux[i] = -1
+		s.rowArt[i] = -1
+	}
+	// Structural columns.
+	s.colRows = make([][]int32, p.numCols, p.numCols+2*m)
+	s.colVals = make([][]float64, p.numCols, p.numCols+2*m)
+	type rowInfo struct {
+		rel Relation
+	}
+	rows := make([]rowInfo, m)
+	flip := s.flip
+	for i, con := range p.cons {
+		rel := con.Rel
+		rhs := con.RHS
+		if rhs < 0 {
+			flip[i] = true
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = rowInfo{rel: rel}
+		s.b[i] = rhs
+	}
+	for i, con := range p.cons {
+		sign := 1.0
+		if flip[i] {
+			sign = -1
+		}
+		for idx, c := range con.Cols {
+			s.colRows[c] = append(s.colRows[c], int32(i))
+			s.colVals[c] = append(s.colVals[c], sign*con.Vals[idx])
+		}
+	}
+	// Slack/surplus columns, then artificials. LE rows get a slack that also
+	// serves as the initial basic variable; GE rows get a surplus plus an
+	// artificial; EQ rows get an artificial.
+	addCol := func(row int, val float64) int {
+		j := len(s.colRows)
+		s.colRows = append(s.colRows, []int32{int32(row)})
+		s.colVals = append(s.colVals, []float64{val})
+		return j
+	}
+	needArt := make([]int, 0, m)
+	for i := range rows {
+		switch rows[i].rel {
+		case LE:
+			s.basis[i] = addCol(i, 1)
+			s.rowAux[i] = s.basis[i]
+		case GE:
+			s.rowAux[i] = addCol(i, -1)
+			needArt = append(needArt, i)
+		case EQ:
+			needArt = append(needArt, i)
+		}
+	}
+	s.artStart = len(s.colRows)
+	for _, i := range needArt {
+		s.basis[i] = addCol(i, 1)
+		s.rowArt[i] = s.basis[i]
+	}
+	s.n = len(s.colRows)
+	s.cost = make([]float64, s.n)
+	copy(s.cost, p.obj)
+	return s
+}
+
+// hasArtificials reports whether any artificial columns exist (phase 1 is a
+// no-op otherwise).
+func (s *standard) hasArtificials() bool { return s.artStart < s.n }
+
+// phase1Cost returns the phase-1 objective: maximize -(sum of artificials).
+func (s *standard) phase1Cost() []float64 {
+	c := make([]float64, s.n)
+	for j := s.artStart; j < s.n; j++ {
+		c[j] = -1
+	}
+	return c
+}

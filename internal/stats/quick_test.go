@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: TQuantile is antisymmetric about the median and monotone in p.
+func TestQuickTQuantileShape(t *testing.T) {
+	f := func(pRaw, dfRaw uint16) bool {
+		p := 0.01 + 0.48*float64(pRaw%1000)/1000 // p in (0.01, 0.49)
+		df := 1 + float64(dfRaw%60)
+		lo := TQuantile(p, df)
+		hi := TQuantile(1-p, df)
+		if math.Abs(lo+hi) > 1e-6*(1+math.Abs(hi)) {
+			return false // symmetry broken
+		}
+		// Monotonicity: a smaller tail probability gives a larger quantile.
+		wider := TQuantile(1-p/2, df)
+		return wider >= hi-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TCDF is a CDF — within [0, 1] and non-decreasing.
+func TestQuickTCDFMonotone(t *testing.T) {
+	f := func(xRaw int16, dfRaw uint8) bool {
+		x := float64(xRaw) / 1000
+		df := 1 + float64(dfRaw%40)
+		c1 := TCDF(x, df)
+		c2 := TCDF(x+0.5, df)
+		return c1 >= 0 && c2 <= 1 && c2 >= c1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RegIncBeta stays in [0, 1] and is monotone in x.
+func TestQuickRegIncBetaMonotone(t *testing.T) {
+	f := func(aRaw, bRaw, xRaw uint16) bool {
+		a := 0.2 + 5*float64(aRaw%100)/100
+		bb := 0.2 + 5*float64(bRaw%100)/100
+		x := float64(xRaw%1000) / 1000
+		v1 := RegIncBeta(a, bb, x)
+		v2 := RegIncBeta(a, bb, math.Min(1, x+0.05))
+		return v1 >= -1e-12 && v2 <= 1+1e-12 && v2 >= v1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sample mean always lies between min and max, and the CI
+// half-width is non-negative.
+func TestQuickSampleInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip pathological inputs
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9*(1+math.Abs(m)) &&
+			m <= s.Max()+1e-9*(1+math.Abs(m)) &&
+			s.CI95() >= 0 && s.Variance() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package stats provides the summary statistics used to report the
+// experiments of Section 8: sample mean, sample standard deviation, and
+// Student-t 95% confidence intervals over repeated simulation runs ("For each
+// scenario, 100 simulation runs were performed, resulting in reasonably tight
+// 95% confidence intervals").
+//
+// The t quantile is computed from scratch (stdlib only) by inverting the
+// regularized incomplete beta function, which is evaluated with the standard
+// continued-fraction expansion (Lentz's algorithm).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Sample) Variance() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min and Max return the sample extremes (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	min := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	max := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// CI returns the half-width of the two-sided confidence interval around the
+// mean at the given confidence level (e.g. 0.95), using the Student-t
+// distribution with n-1 degrees of freedom. Samples with fewer than two
+// observations return 0.
+func (s *Sample) CI(level float64) float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	t := TQuantile(0.5+level/2, float64(n-1))
+	return t * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// CI95 is CI(0.95).
+func (s *Sample) CI95() float64 { return s.CI(0.95) }
+
+// String renders "mean ± halfwidth (n=N)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.CI95(), s.N())
+}
+
+// TQuantile returns the p-quantile (0 < p < 1) of the Student-t distribution
+// with df > 0 degrees of freedom.
+func TQuantile(p, df float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	if p < 0.5 {
+		return -TQuantile(1-p, df)
+	}
+	// Invert the CDF by bisection; the CDF is strictly increasing.
+	lo, hi := 0.0, 1.0
+	for TCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e12 {
+			return math.Inf(1)
+		}
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TCDF returns the CDF of the Student-t distribution with df degrees of
+// freedom at x, via the regularized incomplete beta function:
+// for x >= 0, F(x) = 1 - I_{df/(df+x²)}(df/2, 1/2) / 2.
+func TCDF(x, df float64) float64 {
+	if math.IsNaN(x) || df <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0.5
+	}
+	z := df / (df + x*x)
+	tail := 0.5 * RegIncBeta(df/2, 0.5, z)
+	if x > 0 {
+		return 1 - tail
+	}
+	return tail
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b) for
+// a, b > 0 and x in [0, 1], using the continued-fraction expansion with the
+// symmetry transformation for numerical stability.
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case a <= 0 || b <= 0 || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// (Numerical Recipes style modified Lentz's method).
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 400
+		eps     = 1e-15
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample must report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if !approx(s.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if !approx(s.StdDev(), math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("stddev = %v", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+// Known t quantiles (two-sided 95%: p = 0.975) from standard tables.
+func TestTQuantileTable(t *testing.T) {
+	cases := []struct {
+		df   float64
+		want float64
+	}{
+		{1, 12.706},
+		{2, 4.303},
+		{5, 2.571},
+		{10, 2.228},
+		{30, 2.042},
+		{99, 1.984},
+		{1000, 1.962},
+	}
+	for _, c := range cases {
+		got := TQuantile(0.975, c.df)
+		if !approx(got, c.want, 0.002*c.want) {
+			t.Errorf("t(0.975, %v) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// 90% two-sided at df=10: 1.812.
+	if got := TQuantile(0.95, 10); !approx(got, 1.812, 0.01) {
+		t.Errorf("t(0.95, 10) = %v, want 1.812", got)
+	}
+}
+
+func TestTQuantileSymmetryAndEdges(t *testing.T) {
+	if got := TQuantile(0.5, 7); got != 0 {
+		t.Errorf("median = %v, want 0", got)
+	}
+	a, b := TQuantile(0.2, 7), TQuantile(0.8, 7)
+	if !approx(a, -b, 1e-9) {
+		t.Errorf("asymmetric quantiles: %v vs %v", a, b)
+	}
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if !math.IsNaN(TQuantile(p, 5)) {
+			t.Errorf("TQuantile(%v, 5) should be NaN", p)
+		}
+	}
+	if !math.IsNaN(TQuantile(0.9, 0)) {
+		t.Error("df=0 should be NaN")
+	}
+}
+
+func TestTCDF(t *testing.T) {
+	// df=1 is the Cauchy distribution: F(1) = 3/4.
+	if got := TCDF(1, 1); !approx(got, 0.75, 1e-9) {
+		t.Errorf("Cauchy F(1) = %v, want 0.75", got)
+	}
+	if got := TCDF(0, 5); got != 0.5 {
+		t.Errorf("F(0) = %v, want 0.5", got)
+	}
+	if got := TCDF(-1, 1); !approx(got, 0.25, 1e-9) {
+		t.Errorf("Cauchy F(-1) = %v, want 0.25", got)
+	}
+	// Large df approaches the normal distribution: F(1.96) ~ 0.975.
+	if got := TCDF(1.96, 1e6); !approx(got, 0.975, 1e-3) {
+		t.Errorf("F(1.96, 1e6) = %v, want ~0.975", got)
+	}
+	if !math.IsNaN(TCDF(math.NaN(), 5)) || !math.IsNaN(TCDF(1, -1)) {
+		t.Error("NaN propagation failed")
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1, 1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !approx(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2, 2) = x²(3-2x).
+	if got := RegIncBeta(2, 2, 0.3); !approx(got, 0.3*0.3*(3-0.6), 1e-12) {
+		t.Errorf("I_0.3(2,2) = %v", got)
+	}
+	if RegIncBeta(1, 1, 0) != 0 || RegIncBeta(1, 1, 1) != 1 {
+		t.Error("edge values wrong")
+	}
+	if !math.IsNaN(RegIncBeta(-1, 1, 0.5)) || !math.IsNaN(RegIncBeta(1, 1, math.NaN())) {
+		t.Error("invalid arguments not rejected")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		a, b := 0.5+5*rng.Float64(), 0.5+5*rng.Float64()
+		x := rng.Float64()
+		if got, want := RegIncBeta(a, b, x), 1-RegIncBeta(b, a, 1-x); !approx(got, want, 1e-10) {
+			t.Fatalf("symmetry broken at a=%v b=%v x=%v: %v vs %v", a, b, x, got, want)
+		}
+	}
+}
+
+// TestCICoverage: empirical check that the 95% CI covers the true mean about
+// 95% of the time for small normal samples.
+func TestCICoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	const trueMean = 3.0
+	covered, total := 0, 2000
+	for trial := 0; trial < total; trial++ {
+		var s Sample
+		for i := 0; i < 10; i++ {
+			s.Add(trueMean + rng.NormFloat64())
+		}
+		if math.Abs(s.Mean()-trueMean) <= s.CI95() {
+			covered++
+		}
+	}
+	rate := float64(covered) / float64(total)
+	if rate < 0.93 || rate > 0.97 {
+		t.Errorf("95%% CI empirical coverage = %v", rate)
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var small, large Sample
+	for i := 0; i < 10; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: n=10 %v vs n=1000 %v", small.CI95(), large.CI95())
+	}
+}

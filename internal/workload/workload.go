@@ -1,0 +1,297 @@
+// Package workload generates the synthetic TSCE workloads of Section 6 of
+// Shestak et al. (IPPS 2005): a heterogeneous suite of machines with
+// uniformly sampled route bandwidths, and strings whose application counts,
+// nominal execution times, nominal CPU utilizations and output sizes are
+// sampled from the paper's uniform ranges. End-to-end latency constraints and
+// periods are derived from machine-averaged quantities scaled by the random
+// variable µ, whose per-scenario ranges are given in Table 1.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Scenario selects one of the paper's three workload scenarios.
+type Scenario int
+
+const (
+	// HighlyLoaded is scenario 1: 150 strings with relaxed QoS constraints;
+	// the sequential allocation stops when a hardware component reaches its
+	// computation or communication capacity limit (first-stage analysis).
+	HighlyLoaded Scenario = 1
+	// QoSLimited is scenario 2: 150 strings with tight throughput and
+	// latency constraints; allocation stops on a QoS violation before any
+	// resource reaches its capacity limit.
+	QoSLimited Scenario = 2
+	// LightlyLoaded is scenario 3: 25 strings with relaxed QoS constraints;
+	// the entire set can be allocated and only system slackness matters.
+	LightlyLoaded Scenario = 3
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case HighlyLoaded:
+		return "scenario 1 (highly loaded)"
+	case QoSLimited:
+		return "scenario 2 (QoS-limited)"
+	case LightlyLoaded:
+		return "scenario 3 (lightly loaded)"
+	default:
+		return fmt.Sprintf("scenario %d", int(s))
+	}
+}
+
+// Range is a closed interval sampled uniformly.
+type Range struct{ Min, Max float64 }
+
+// Sample draws uniformly from the range.
+func (r Range) Sample(rng *rand.Rand) float64 {
+	return r.Min + (r.Max-r.Min)*rng.Float64()
+}
+
+// Contains reports whether v lies in the range (with a small tolerance).
+func (r Range) Contains(v float64) bool {
+	const eps = 1e-12
+	return v >= r.Min-eps && v <= r.Max+eps
+}
+
+// Config holds every generation parameter. Defaults (Section 6): 12
+// machines, route bandwidths U[1,10] Mb/s, 1-10 applications per string,
+// nominal times U[1,10] s, nominal utilizations U[0.1,1], outputs U[10,100]
+// KB, worth uniform over {1,10,100}, and the Table 1 µ ranges.
+type Config struct {
+	Machines         int
+	Strings          int
+	MaxAppsPerString int
+	Bandwidth        Range // Mb/s per inter-machine route
+	NominalTime      Range // seconds per (application, machine)
+	NominalUtil      Range // fraction per (application, machine)
+	OutputKB         Range // kilobytes per application
+	MuLatency        Range // µ for Lmax[k] (Table 1)
+	MuPeriod         Range // µ for P[k] (Table 1)
+	// WorthLevels and WorthWeights define the worth distribution. The paper
+	// fixes the levels {1,10,100} but not the mixing proportions; equal
+	// weights are the documented default.
+	WorthLevels  []float64
+	WorthWeights []float64
+	// Heterogeneity selects how nominal execution times relate across
+	// machines. The paper samples each (application, machine) value
+	// independently, which is the "inconsistent" model of its reference [5]
+	// (Ali et al., Tamkang J. Sci. Eng. 2000); the "consistent" model makes
+	// machine speed orderings uniform across applications, an alternative
+	// the heterogeneous-computing literature studies and the
+	// HeterogeneityStudy ablation exercises.
+	Heterogeneity Heterogeneity
+}
+
+// Heterogeneity selects the task/machine heterogeneity model for nominal
+// execution times.
+type Heterogeneity int
+
+const (
+	// Inconsistent samples every (application, machine) nominal time
+	// independently (the paper's setup): machine A may be faster than B for
+	// one application and slower for another.
+	Inconsistent Heterogeneity = iota
+	// Consistent derives nominal times from a per-application base time and
+	// a per-machine speed factor, so one machine ordering holds for all
+	// applications.
+	Consistent
+)
+
+func (h Heterogeneity) String() string {
+	if h == Consistent {
+		return "consistent"
+	}
+	return "inconsistent"
+}
+
+// ScenarioConfig returns the paper's configuration for the given scenario
+// (Section 6 and Table 1).
+func ScenarioConfig(s Scenario) Config {
+	cfg := Config{
+		Machines:         12,
+		Strings:          150,
+		MaxAppsPerString: 10,
+		Bandwidth:        Range{1, 10},
+		NominalTime:      Range{1, 10},
+		NominalUtil:      Range{0.1, 1},
+		OutputKB:         Range{10, 100},
+		WorthLevels:      []float64{model.WorthLow, model.WorthMedium, model.WorthHigh},
+		WorthWeights:     []float64{1, 1, 1},
+	}
+	switch s {
+	case HighlyLoaded:
+		cfg.MuLatency = Range{4, 6}
+		cfg.MuPeriod = Range{3, 4.5}
+	case QoSLimited:
+		cfg.MuLatency = Range{1.25, 2.75}
+		cfg.MuPeriod = Range{1.5, 2.5}
+	case LightlyLoaded:
+		cfg.Strings = 25
+		cfg.MuLatency = Range{4, 6}
+		cfg.MuPeriod = Range{3, 4.5}
+	default:
+		panic(fmt.Sprintf("workload: unknown scenario %d", int(s)))
+	}
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Machines < 1:
+		return fmt.Errorf("workload: %d machines", c.Machines)
+	case c.Strings < 1:
+		return fmt.Errorf("workload: %d strings", c.Strings)
+	case c.MaxAppsPerString < 1:
+		return fmt.Errorf("workload: max %d applications per string", c.MaxAppsPerString)
+	case c.Bandwidth.Min <= 0 || c.Bandwidth.Max < c.Bandwidth.Min:
+		return fmt.Errorf("workload: bandwidth range %+v", c.Bandwidth)
+	case c.NominalTime.Min <= 0 || c.NominalTime.Max < c.NominalTime.Min:
+		return fmt.Errorf("workload: nominal time range %+v", c.NominalTime)
+	case c.NominalUtil.Min <= 0 || c.NominalUtil.Max > 1 || c.NominalUtil.Max < c.NominalUtil.Min:
+		return fmt.Errorf("workload: nominal utilization range %+v", c.NominalUtil)
+	case c.OutputKB.Min < 0 || c.OutputKB.Max < c.OutputKB.Min:
+		return fmt.Errorf("workload: output range %+v", c.OutputKB)
+	case c.MuLatency.Min <= 0 || c.MuLatency.Max < c.MuLatency.Min:
+		return fmt.Errorf("workload: µ latency range %+v", c.MuLatency)
+	case c.MuPeriod.Min <= 0 || c.MuPeriod.Max < c.MuPeriod.Min:
+		return fmt.Errorf("workload: µ period range %+v", c.MuPeriod)
+	case len(c.WorthLevels) == 0 || len(c.WorthLevels) != len(c.WorthWeights):
+		return fmt.Errorf("workload: %d worth levels with %d weights", len(c.WorthLevels), len(c.WorthWeights))
+	}
+	total := 0.0
+	for _, w := range c.WorthWeights {
+		if w < 0 {
+			return fmt.Errorf("workload: negative worth weight %v", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload: worth weights sum to %v", total)
+	}
+	return nil
+}
+
+// Generate builds a system from the configuration, deterministically for a
+// given seed. The returned system always passes model.Validate.
+func Generate(cfg Config, seed int64) (*model.System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sys := &model.System{Machines: cfg.Machines}
+
+	// Hardware first: the µ formulas need the system's average inverse
+	// bandwidth. Routes are directed virtual point-to-point channels, each
+	// sampled independently; intra-machine routes are infinite (diagonal
+	// entries stay zero and are ignored by the model).
+	sys.Bandwidth = make([][]float64, cfg.Machines)
+	for j1 := range sys.Bandwidth {
+		sys.Bandwidth[j1] = make([]float64, cfg.Machines)
+		for j2 := range sys.Bandwidth[j1] {
+			if j1 != j2 {
+				sys.Bandwidth[j1][j2] = cfg.Bandwidth.Sample(rng)
+			}
+		}
+	}
+
+	// Consistent heterogeneity: one speed factor per machine, applied to a
+	// per-application base time (clamped back into the configured range, a
+	// monotone transform that preserves the machine ordering).
+	var speed []float64
+	if cfg.Heterogeneity == Consistent {
+		speed = make([]float64, cfg.Machines)
+		for j := range speed {
+			speed[j] = 0.75 + 0.5*rng.Float64()
+		}
+	}
+
+	for q := 0; q < cfg.Strings; q++ {
+		n := 1 + rng.Intn(cfg.MaxAppsPerString)
+		apps := make([]model.Application, n)
+		for i := range apps {
+			apps[i] = model.Application{
+				NominalTime: make([]float64, cfg.Machines),
+				NominalUtil: make([]float64, cfg.Machines),
+				OutputKB:    cfg.OutputKB.Sample(rng),
+			}
+			base := cfg.NominalTime.Sample(rng)
+			for j := 0; j < cfg.Machines; j++ {
+				if cfg.Heterogeneity == Consistent {
+					t := base * speed[j]
+					if t < cfg.NominalTime.Min {
+						t = cfg.NominalTime.Min
+					}
+					if t > cfg.NominalTime.Max {
+						t = cfg.NominalTime.Max
+					}
+					apps[i].NominalTime[j] = t
+				} else {
+					apps[i].NominalTime[j] = cfg.NominalTime.Sample(rng)
+				}
+				apps[i].NominalUtil[j] = cfg.NominalUtil.Sample(rng)
+			}
+		}
+		s := model.AppString{
+			Worth: pickWorth(cfg, rng),
+			Apps:  apps,
+		}
+		k := sys.AddString(s)
+		str := &sys.Strings[k]
+
+		// Section 8 formulas, on machine-averaged quantities:
+		//   Lmax[k] = µ_L × [ Σ_{i<n}(t_av[i] + O[i]/w_av) + t_av[n] ]
+		//   P[k]    = µ_P × max( max_i t_av[i], max_{z<n} O[z]/w_av )
+		latencyBase := sys.AvgNominalTime(k, n-1)
+		periodBase := 0.0
+		for i := 0; i < n; i++ {
+			t := sys.AvgNominalTime(k, i)
+			if t > periodBase {
+				periodBase = t
+			}
+			if i < n-1 {
+				tr := sys.AvgTransferSeconds(k, i)
+				latencyBase += t + tr
+				if tr > periodBase {
+					periodBase = tr
+				}
+			}
+		}
+		str.MaxLatency = cfg.MuLatency.Sample(rng) * latencyBase
+		str.Period = cfg.MuPeriod.Sample(rng) * periodBase
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid system: %w", err)
+	}
+	return sys, nil
+}
+
+// MustGenerate is Generate for configurations known to be valid (the
+// scenario presets); it panics on error.
+func MustGenerate(cfg Config, seed int64) *model.System {
+	sys, err := Generate(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func pickWorth(cfg Config, rng *rand.Rand) float64 {
+	total := 0.0
+	for _, w := range cfg.WorthWeights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for idx, w := range cfg.WorthWeights {
+		if r < w {
+			return cfg.WorthLevels[idx]
+		}
+		r -= w
+	}
+	return cfg.WorthLevels[len(cfg.WorthLevels)-1]
+}

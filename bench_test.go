@@ -15,6 +15,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/dynamic"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/feasibility"
 	"repro/internal/genitor"
 	"repro/internal/heuristics"
@@ -413,6 +414,39 @@ func BenchmarkDynamicRepair(b *testing.B) {
 		if !res.Feasible {
 			b.Fatal("repair failed")
 		}
+	}
+}
+
+// BenchmarkFailover measures repair latency of the Survive controller as a
+// function of the number of simultaneously failed machines (each a full
+// compartment hit: the machine plus every incident route).
+func BenchmarkFailover(b *testing.B) {
+	sys := workload.MustGenerate(workload.ScenarioConfig(workload.LightlyLoaded), 1)
+	base := heuristics.MWF(sys)
+	for _, hits := range []int{1, 2, 4, 6} {
+		b.Run(fmt.Sprintf("hits%d", hits), func(b *testing.B) {
+			down := faults.NewSet(sys.Machines)
+			for j := 0; j < hits; j++ {
+				for _, e := range faults.CompartmentHit(sys.Machines, j, 0, 0) {
+					down.Fail(e.Resource)
+				}
+			}
+			retained := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				alloc := base.Alloc.Clone()
+				mapped := append([]bool(nil), base.Mapped...)
+				res, err := dynamic.Survive(alloc, mapped, down)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Feasible {
+					b.Fatal("failover failed")
+				}
+				retained += res.Retained
+			}
+			b.ReportMetric(retained/float64(b.N), "retained/op")
+		})
 	}
 }
 

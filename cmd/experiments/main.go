@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|timing|robustness|bias|seeding|population|worthmix|ssg|termination|heterogeneity|relaxation|worthscheme|dynamic|phasing|pooling|table1|all")
+		exp       = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|timing|robustness|bias|seeding|population|worthmix|ssg|termination|heterogeneity|relaxation|worthscheme|dynamic|chaos|phasing|pooling|table1|all")
 		runs      = flag.Int("runs", 10, "simulation runs per experiment (paper: 100)")
 		seed      = flag.Int64("seed", 1, "base RNG seed")
 		strings_  = flag.Int("strings", 0, "override string count (0 = paper value)")
@@ -139,6 +139,13 @@ func run(exp string, runs int, seed int64, stringsOverride, psgIters, psgPop, ps
 	}
 	if all || exp == "dynamic" {
 		res, err := experiments.RunDynamicStudy(opts, nil)
+		fatal(err)
+		res.WriteTable(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if all || exp == "chaos" {
+		res, err := experiments.RunChaosStudy(opts, nil)
 		fatal(err)
 		res.WriteTable(w)
 		fmt.Fprintln(w)

@@ -8,19 +8,32 @@
 // from a JSON system description (-in). Use -save to write a generated
 // scenario to disk for later reuse.
 //
+// Fault mode: -faults loads a JSON failure scenario (see internal/faults) and
+// -fail-machines injects permanent compartment hits on the listed machines.
+// Either one triggers a failover analysis — the Survive controller evacuates
+// and repairs the mapping on the surviving suite — and, combined with
+// -simulate, replays the failure trace against the original allocation in the
+// discrete-event simulator.
+//
 // Examples:
 //
 //	shipsched -scenario 2 -seed 7 -heuristic SeededPSG -psg-iters 500
 //	shipsched -scenario 3 -heuristic MWF -simulate -scale 1.5
 //	shipsched -in system.json -heuristic TF -dump
+//	shipsched -scenario 3 -heuristic MWF -fail-machines 2,5
+//	shipsched -scenario 3 -heuristic MWF -faults examples/survivability/compartment.json -simulate
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/dynamic"
+	"repro/internal/faults"
 	"repro/internal/feasibility"
 	"repro/internal/heuristics"
 	"repro/internal/model"
@@ -43,6 +56,8 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "workload scale for -simulate (1 = planned workload)")
 		periods   = flag.Int("periods", 10, "data sets per string for -simulate")
 		dump      = flag.Bool("dump", false, "print the full application-to-machine mapping")
+		faultFile = flag.String("faults", "", "load a JSON failure scenario and run the failover analysis")
+		failMach  = flag.String("fail-machines", "", "comma-separated machines hit by permanent compartment losses")
 	)
 	flag.Parse()
 
@@ -78,8 +93,18 @@ func main() {
 		fmt.Println()
 		report.Write(os.Stdout, r.Alloc)
 	}
+	faultSc, err := loadFaults(*faultFile, *failMach, sys.Machines)
+	fatal(err)
+	if faultSc != nil {
+		fatal(faultSc.ValidateFor(sys))
+		runFailover(r, faultSc)
+	}
 	if *simulate {
-		res, err := sim.Run(r.Alloc, sim.Config{Periods: *periods, WorkloadScale: *scale})
+		simCfg := sim.Config{Periods: *periods, WorkloadScale: *scale}
+		if faultSc != nil {
+			simCfg.Failures = faultSc.Sorted()
+		}
+		res, err := sim.Run(r.Alloc, simCfg)
 		fatal(err)
 		fmt.Printf("\nsimulation: scale %.2f, %d data sets per string, %d events, %.1f s simulated\n",
 			*scale, *periods, res.Events, res.Duration)
@@ -91,6 +116,74 @@ func main() {
 			}
 		}
 		fmt.Printf("worst end-to-end latency: %.3f s\n", worst)
+		if faultSc != nil {
+			if res.Unfinished > 0 {
+				fmt.Printf("data sets stranded by permanent failures: %d\n", res.Unfinished)
+			}
+			quiet := 0
+			for _, fs := range res.Failures {
+				if fs.LostJobs == 0 && fs.LostTransfers == 0 && fs.Disrupted == 0 {
+					quiet++
+					continue
+				}
+				fmt.Printf("failure %v at %.1f s: lost %d jobs, %d transfers; %d/%d disrupted data sets recovered",
+					fs.Event.Resource, fs.Event.At, fs.LostJobs, fs.LostTransfers, fs.Recovered, fs.Disrupted)
+				if fs.Recovered > 0 && !fs.Event.Permanent() {
+					fmt.Printf(" (recovery latency %.2f s)", fs.RecoveryLatency)
+				}
+				fmt.Println()
+			}
+			if quiet > 0 {
+				fmt.Printf("%d injected outages disturbed no in-flight work\n", quiet)
+			}
+		}
+	}
+}
+
+// loadFaults builds the failure scenario from -faults and/or -fail-machines.
+func loadFaults(faultFile, failMach string, machines int) (*faults.Scenario, error) {
+	var sc *faults.Scenario
+	if faultFile != "" {
+		loaded, err := faults.LoadFile(faultFile)
+		if err != nil {
+			return nil, err
+		}
+		sc = loaded
+	}
+	if failMach != "" {
+		if sc == nil {
+			sc = &faults.Scenario{Name: "fail-machines"}
+		}
+		for _, field := range strings.Split(failMach, ",") {
+			j, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				return nil, fmt.Errorf("bad -fail-machines entry %q: %w", field, err)
+			}
+			sc.Events = append(sc.Events, faults.CompartmentHit(machines, j, 0, 0)...)
+		}
+	}
+	return sc, nil
+}
+
+// runFailover reports the Survive controller's repair of the mapping against
+// the scenario's collapsed outage set (every listed resource down at once).
+func runFailover(r *heuristics.Result, sc *faults.Scenario) {
+	sys := r.Alloc.System()
+	down := faults.SetFromScenario(sc, sys.Machines)
+	alloc := r.Alloc.Clone()
+	mapped := append([]bool(nil), r.Mapped...)
+	res, err := dynamic.Survive(alloc, mapped, down)
+	fatal(err)
+	mig, evi, rec := res.Counts()
+	fmt.Printf("\nfailover: %d machines and %d routes down (scenario %q)\n",
+		down.MachinesDown(), down.RoutesDown(), sc.Name)
+	fmt.Printf("evacuated %d strings; %d migrations, %d evictions, %d reclaims\n",
+		len(res.Evacuated), mig, evi, rec)
+	fmt.Printf("worth retained: %.0f/%.0f (%.1f%%)   recovery cost: %.1f s   slackness after: %.4f\n",
+		res.WorthAfter, res.WorthBefore, 100*res.Retained, res.CostSeconds, res.SlacknessAfter)
+	if !res.Feasible || dynamic.UsesFailed(alloc, down) {
+		fmt.Println("WARNING: failover left an infeasible or fault-exposed mapping (bug)")
+		os.Exit(1)
 	}
 }
 

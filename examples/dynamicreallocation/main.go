@@ -76,6 +76,9 @@ func main() {
 			fmt.Printf("  migrated string %d (%d applications moved)\n", a.StringID, a.MovedApps)
 		case dynamic.Evicted:
 			fmt.Printf("  evicted string %d (worth %.0f)\n", a.StringID, scaled.Strings[a.StringID].Worth)
+		case dynamic.Reclaimed:
+			fmt.Printf("  reclaimed string %d (worth %.0f back in the mapping)\n",
+				a.StringID, scaled.Strings[a.StringID].Worth)
 		}
 	}
 	fmt.Printf("repair result: worth %.0f -> %.0f (%.0f%% retained), slackness %.3f\n",

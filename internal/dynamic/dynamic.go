@@ -82,6 +82,9 @@ func uniformScales(n int, gamma float64) []float64 {
 // slice marks them.
 func TransferAllocation(src *feasibility.Allocation, dst *model.System) (*feasibility.Allocation, []bool, error) {
 	srcSys := src.System()
+	if srcSys.Machines != dst.Machines {
+		return nil, nil, fmt.Errorf("dynamic: systems differ: %d vs %d machines", srcSys.Machines, dst.Machines)
+	}
 	if len(srcSys.Strings) != len(dst.Strings) {
 		return nil, nil, fmt.Errorf("dynamic: systems differ: %d vs %d strings", len(srcSys.Strings), len(dst.Strings))
 	}
@@ -109,22 +112,41 @@ const (
 	Migrated ActionKind = "migrated"
 	// Evicted: the string was dropped from the mapping.
 	Evicted ActionKind = "evicted"
+	// Reclaimed: the string was evicted earlier in the same repair and
+	// re-placed once the rest of the repair settled; it ends the repair
+	// mapped.
+	Reclaimed ActionKind = "reclaimed"
 )
 
 // Action is one repair step.
 type Action struct {
 	StringID int
 	Kind     ActionKind
-	// MovedApps counts applications whose machine changed (Migrated only).
+	// MovedApps counts applications whose machine changed relative to the
+	// string's placement before the repair (Migrated and Reclaimed only).
 	MovedApps int
+	// CostSeconds estimates the recovery cost of the action: the nominal
+	// execution seconds of one data set on every moved application's new
+	// machine — the work that must be re-staged and re-executed for the
+	// in-flight data set the move disrupts. Evictions cost nothing to
+	// execute (the loss is captured by the worth drop instead).
+	CostSeconds float64
 }
 
 // Result summarizes a repair.
 type Result struct {
 	Actions []Action
+	// Evacuated lists the strings a failover forced off failed resources
+	// before repair (Survive only; empty for Repair).
+	Evacuated []int
 	// WorthBefore and WorthAfter are the mapped worth before and after the
-	// repair; Retained is their ratio (1 when nothing was evicted).
+	// repair; Retained is their ratio in [0, 1] (1 when nothing was lost or
+	// nothing was mapped to begin with).
 	WorthBefore, WorthAfter float64
+	// Retained is WorthAfter / WorthBefore.
+	Retained float64
+	// CostSeconds is the summed recovery cost of all actions.
+	CostSeconds float64
 	// SlacknessAfter is the repaired mapping's slackness.
 	SlacknessAfter float64
 	// Feasible reports whether repair reached a two-stage-feasible state
@@ -132,43 +154,41 @@ type Result struct {
 	Feasible bool
 }
 
+// Counts tallies the actions by kind.
+func (r *Result) Counts() (migrated, evicted, reclaimed int) {
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case Migrated:
+			migrated++
+		case Evicted:
+			evicted++
+		case Reclaimed:
+			reclaimed++
+		}
+	}
+	return migrated, evicted, reclaimed
+}
+
+// NetEvictions returns the number of strings that end the repair unmapped:
+// evictions minus later reclaims.
+func (r *Result) NetEvictions() int {
+	_, evicted, reclaimed := r.Counts()
+	return evicted - reclaimed
+}
+
 // Repair restores two-stage feasibility of the allocation after a workload
 // change, mutating alloc and mapped in place. Victims are chosen lowest
 // worth first (ties: higher tightness first, then ID) among the strings
 // implicated by the current violations; each victim is first re-placed by
-// the IMR and kept if the placement is feasible, otherwise evicted.
+// the IMR and kept if the placement is feasible, otherwise evicted. A final
+// reclaim pass re-places evicted strings that fit again once the repair
+// settled (highest worth first), so a string stays evicted only if its
+// re-placement on the final allocation is infeasible.
 func Repair(alloc *feasibility.Allocation, mapped []bool) *Result {
-	sys := alloc.System()
-	res := &Result{WorthBefore: mappedWorth(sys, mapped)}
-	// Strings that already failed a re-placement attempt: evict-only.
-	tried := make([]bool, len(sys.Strings))
-	for !alloc.TwoStageFeasible() {
-		victim := pickVictim(alloc, mapped)
-		if victim < 0 {
-			break // no implicated string found (should not happen)
-		}
-		machinesBefore := alloc.StringMachines(victim)
-		alloc.UnassignString(victim)
-		if !tried[victim] {
-			tried[victim] = true
-			heuristics.MapStringIMR(alloc, victim)
-			if alloc.FeasibleAfterAdding(victim) {
-				res.Actions = append(res.Actions, Action{
-					StringID:  victim,
-					Kind:      Migrated,
-					MovedApps: movedApps(machinesBefore, alloc.StringMachines(victim)),
-				})
-				continue
-			}
-			alloc.UnassignString(victim)
-		}
-		mapped[victim] = false
-		res.Actions = append(res.Actions, Action{StringID: victim, Kind: Evicted})
-	}
-	res.WorthAfter = mappedWorth(sys, mapped)
-	res.SlacknessAfter = alloc.Slackness()
-	res.Feasible = alloc.TwoStageFeasible()
-	return res
+	r := newRepairer(alloc, mapped, nil, nil)
+	r.repairLoop()
+	r.reclaim()
+	return r.result()
 }
 
 // pickVictim selects the next string to act on: among strings implicated by

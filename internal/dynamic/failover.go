@@ -1,0 +1,266 @@
+// Failover: the survivability extension of the repair controller. Where
+// Repair reacts to workload growth, Survive reacts to resource loss — the
+// failure mode a shipboard environment actually plans for (battle damage,
+// equipment outage). It evacuates every string mapped onto a failed machine
+// or routed over a failed link, re-places the evacuees on the surviving
+// suite with the fault-masked IMR, and restores two-stage feasibility by
+// migrate-then-evict, lowest-worth victims first.
+
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/feasibility"
+	"repro/internal/heuristics"
+	"repro/internal/model"
+)
+
+// repairer carries the shared migrate/evict/reclaim machinery behind Repair
+// (no resource mask) and Survive (failed resources masked out). It mutates
+// the allocation and mapped flags in place and records the action log.
+type repairer struct {
+	alloc     *feasibility.Allocation
+	mapped    []bool
+	machineOK func(j int) bool      // nil: all machines allowed
+	routeOK   func(j1, j2 int) bool // nil: all routes allowed
+	origin    map[int][]int         // pre-repair machines of every string acted on
+	evicted   map[int]bool          // strings evicted by this repair, reclaim candidates
+	tried     []bool                // strings that already got their one migrate attempt
+	res       *Result
+}
+
+func newRepairer(alloc *feasibility.Allocation, mapped []bool, machineOK func(int) bool, routeOK func(int, int) bool) *repairer {
+	sys := alloc.System()
+	return &repairer{
+		alloc:     alloc,
+		mapped:    mapped,
+		machineOK: machineOK,
+		routeOK:   routeOK,
+		origin:    make(map[int][]int),
+		evicted:   make(map[int]bool),
+		tried:     make([]bool, len(sys.Strings)),
+		res:       &Result{WorthBefore: mappedWorth(sys, mapped)},
+	}
+}
+
+// rememberOrigin records the first known placement of string k, the baseline
+// for moved-application counts and recovery costs.
+func (r *repairer) rememberOrigin(k int) {
+	if _, ok := r.origin[k]; !ok {
+		r.origin[k] = r.alloc.StringMachines(k)
+	}
+}
+
+// placeAction appends an action for the just-placed string k, charging the
+// move relative to its remembered origin.
+func (r *repairer) placeAction(k int, kind ActionKind) {
+	after := r.alloc.StringMachines(k)
+	before, ok := r.origin[k]
+	if !ok {
+		before = make([]int, len(after))
+		for i := range before {
+			before[i] = feasibility.Unassigned
+		}
+	}
+	a := Action{StringID: k, Kind: kind, MovedApps: movedApps(before, after)}
+	s := &r.alloc.System().Strings[k]
+	for i := range after {
+		if before[i] != after[i] {
+			a.CostSeconds += s.Apps[i].NominalTime[after[i]]
+		}
+	}
+	r.res.Actions = append(r.res.Actions, a)
+}
+
+// evict drops string k from the mapping and logs it.
+func (r *repairer) evict(k int) {
+	if r.alloc.Complete(k) {
+		r.alloc.UnassignString(k)
+	}
+	r.mapped[k] = false
+	r.evicted[k] = true
+	r.res.Actions = append(r.res.Actions, Action{StringID: k, Kind: Evicted})
+}
+
+// repairLoop is the migrate-then-evict loop of Repair, restricted to the
+// allowed resources: while the two-stage analysis fails, the lowest-worth
+// implicated string is unassigned, re-placed once by the (masked) IMR, and
+// evicted if the placement is infeasible or a second repair becomes
+// necessary.
+func (r *repairer) repairLoop() {
+	for !r.alloc.TwoStageFeasible() {
+		victim := pickVictim(r.alloc, r.mapped)
+		if victim < 0 {
+			break // no implicated string found (should not happen)
+		}
+		r.rememberOrigin(victim)
+		r.alloc.UnassignString(victim)
+		if !r.tried[victim] {
+			r.tried[victim] = true
+			if heuristics.MapStringIMRMasked(r.alloc, victim, r.machineOK, r.routeOK) {
+				if r.alloc.FeasibleAfterAdding(victim) {
+					r.placeAction(victim, Migrated)
+					continue
+				}
+				r.alloc.UnassignString(victim)
+			}
+		}
+		r.evict(victim)
+	}
+}
+
+// reclaim re-places strings evicted by this repair that fit again once the
+// repair settled, highest worth first (ties: lowest ID). The IMR's placement
+// choice depends on the current utilizations, so a reclaim that lands can
+// redirect a previously failed string onto a feasible placement; passes
+// repeat until one makes no progress. The final, empty pass tests every
+// still-evicted string against exactly the final allocation, so afterwards
+// no still-evicted string has a feasible IMR re-placement — the invariant
+// the property tests pin.
+func (r *repairer) reclaim() {
+	sys := r.alloc.System()
+	for {
+		cands := make([]int, 0, len(r.evicted))
+		for k := range r.evicted {
+			cands = append(cands, k)
+		}
+		sortByWorthDesc(sys, cands)
+		progressed := false
+		for _, k := range cands {
+			if !heuristics.MapStringIMRMasked(r.alloc, k, r.machineOK, r.routeOK) {
+				continue
+			}
+			if r.alloc.FeasibleAfterAdding(k) {
+				r.mapped[k] = true
+				delete(r.evicted, k)
+				r.placeAction(k, Reclaimed)
+				progressed = true
+			} else {
+				r.alloc.UnassignString(k)
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// result finalizes the metrics.
+func (r *repairer) result() *Result {
+	res := r.res
+	res.WorthAfter = mappedWorth(r.alloc.System(), r.mapped)
+	res.Retained = 1.0
+	if res.WorthBefore > 0 {
+		res.Retained = res.WorthAfter / res.WorthBefore
+	}
+	for _, a := range res.Actions {
+		res.CostSeconds += a.CostSeconds
+	}
+	res.SlacknessAfter = r.alloc.Slackness()
+	res.Feasible = r.alloc.TwoStageFeasible()
+	return res
+}
+
+// Survive restores a feasible allocation after the resource failures in
+// down, mutating alloc and mapped in place. The controller:
+//
+//  1. evacuates every mapped string with an application on a failed machine
+//     or a transfer over a failed route;
+//  2. re-places the evacuees on the surviving resources with the
+//     fault-masked IMR, highest worth first, so the most valuable strings
+//     get first pick of the remaining capacity (a string with no possible
+//     placement — e.g. every machine down — is evicted outright);
+//  3. runs the migrate-then-evict repair loop, lowest-worth victims first,
+//     until the two-stage analysis passes on the surviving suite;
+//  4. reclaims evicted strings that fit again, highest worth first.
+//
+// The returned result reports worth retained, per-action recovery cost, and
+// post-repair slackness. The allocation should be two-stage feasible on
+// entry (combine with Repair first after a simultaneous workload change).
+// The resulting allocation never uses a failed resource.
+func Survive(alloc *feasibility.Allocation, mapped []bool, down *faults.Set) (*Result, error) {
+	sys := alloc.System()
+	if down.Machines() != sys.Machines {
+		return nil, fmt.Errorf("dynamic: outage set covers %d machines, system has %d", down.Machines(), sys.Machines)
+	}
+	if len(mapped) != len(sys.Strings) {
+		return nil, fmt.Errorf("dynamic: %d mapped flags for %d strings", len(mapped), len(sys.Strings))
+	}
+	r := newRepairer(alloc, mapped,
+		func(j int) bool { return !down.MachineDown(j) },
+		func(j1, j2 int) bool { return !down.RouteDown(j1, j2) })
+
+	// 1. Evacuate.
+	var evacuees []int
+	for k := range sys.Strings {
+		if mapped[k] && alloc.Complete(k) && StringUsesFailed(alloc, k, down) {
+			evacuees = append(evacuees, k)
+		}
+	}
+	r.res.Evacuated = append([]int(nil), evacuees...)
+	for _, k := range evacuees {
+		r.rememberOrigin(k)
+		alloc.UnassignString(k)
+	}
+
+	// 2. Re-place evacuees on the surviving suite, highest worth first. The
+	// placement is kept even if it overloads a surviving resource — step 3
+	// then sheds load lowest worth first, which may migrate or evict a less
+	// valuable survivor instead of this string.
+	sortByWorthDesc(sys, evacuees)
+	for _, k := range evacuees {
+		if heuristics.MapStringIMRMasked(alloc, k, r.machineOK, r.routeOK) {
+			r.placeAction(k, Migrated)
+		} else {
+			r.evict(k)
+		}
+	}
+
+	// 3 and 4. Repair and reclaim.
+	r.repairLoop()
+	r.reclaim()
+	return r.result(), nil
+}
+
+// StringUsesFailed reports whether completely mapped string k touches a
+// failed resource: any application on a failed machine, or any
+// inter-machine transfer over a failed route.
+func StringUsesFailed(alloc *feasibility.Allocation, k int, down *faults.Set) bool {
+	sys := alloc.System()
+	n := len(sys.Strings[k].Apps)
+	for i := 0; i < n; i++ {
+		j := alloc.Machine(k, i)
+		if down.MachineDown(j) {
+			return true
+		}
+		if i < n-1 && down.RouteDown(j, alloc.Machine(k, i+1)) {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesFailed reports whether any completely mapped string of the allocation
+// touches a failed resource — the invariant Survive guarantees to clear.
+func UsesFailed(alloc *feasibility.Allocation, down *faults.Set) bool {
+	for k := range alloc.System().Strings {
+		if alloc.Complete(k) && StringUsesFailed(alloc, k, down) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortByWorthDesc orders string indices by worth, highest first, ties by ID.
+func sortByWorthDesc(sys *model.System, ks []int) {
+	sort.Slice(ks, func(a, b int) bool {
+		wa, wb := sys.Strings[ks[a]].Worth, sys.Strings[ks[b]].Worth
+		if wa != wb {
+			return wa > wb
+		}
+		return ks[a] < ks[b]
+	})
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dynamic"
+	"repro/internal/faults"
+	"repro/internal/heuristics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ChaosStudy (E19) is the Monte Carlo survivability experiment: how much
+// worth does an initial allocation retain, and how much slackness is left,
+// after f simultaneous compartment hits are repaired by the failover
+// controller? Comparing initial allocations from IMR (identity order), MWF,
+// TF, and GENITOR (Seeded PSG) tests the paper's slackness argument under
+// resource loss rather than workload growth: the higher-slackness mapping
+// should shed less worth when the suite shrinks.
+type ChaosStudy struct {
+	Runs int
+	Hits []int
+	// Rows[heuristic][hitIndex].
+	Rows map[string][]ChaosPoint
+	// InitialSlackness per heuristic.
+	InitialSlackness map[string]*stats.Sample
+}
+
+// ChaosHeuristics are the initial-allocation policies the study compares.
+var ChaosHeuristics = []string{"IMR", "MWF", "TF", "GENITOR"}
+
+// ChaosPoint aggregates one (heuristic, hit-count) cell.
+type ChaosPoint struct {
+	Hits      int
+	Retained  stats.Sample // worth retained after failover, in [0, 1]
+	Slackness stats.Sample // post-repair slackness
+	Cost      stats.Sample // recovery cost in re-executed nominal seconds
+	Evictions stats.Sample // strings lost per scenario
+}
+
+// RunChaosStudy executes E19 on scenario-3 instances. hits defaults to
+// {1, 2, 4, 6} simultaneous compartment hits (up to half the 12-machine
+// suite).
+func RunChaosStudy(opts Options, hits []int) (*ChaosStudy, error) {
+	opts = opts.withDefaults()
+	if len(hits) == 0 {
+		hits = []int{1, 2, 4, 6}
+	}
+	out := &ChaosStudy{
+		Runs:             opts.Runs,
+		Hits:             hits,
+		Rows:             map[string][]ChaosPoint{},
+		InitialSlackness: map[string]*stats.Sample{},
+	}
+	for _, n := range ChaosHeuristics {
+		pts := make([]ChaosPoint, len(hits))
+		for i, f := range hits {
+			pts[i].Hits = f
+		}
+		out.Rows[n] = pts
+		out.InitialSlackness[n] = &stats.Sample{}
+	}
+	cfg := opts.scenarioConfig(workload.LightlyLoaded)
+	for run := 0; run < opts.Runs; run++ {
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		initial := map[string]*heuristics.Result{}
+		for _, name := range ChaosHeuristics {
+			var r *heuristics.Result
+			switch name {
+			case "IMR":
+				order := make([]int, len(sys.Strings))
+				for i := range order {
+					order[i] = i
+				}
+				r = heuristics.MapSequence(sys, order)
+			case "GENITOR":
+				pcfg := opts.PSG
+				pcfg.Seed = seed * 7919
+				r = heuristics.Run("SeededPSG", sys, pcfg)
+			default:
+				r = heuristics.Run(name, sys, opts.PSG)
+			}
+			initial[name] = r
+			out.InitialSlackness[name].Add(r.Metric.Slackness)
+		}
+		for fi, f := range hits {
+			mc := faults.MonteCarlo{CompartmentHits: f}
+			sc, err := mc.Sample(sys.Machines, seed*1000003+int64(f))
+			if err != nil {
+				return nil, err
+			}
+			down := faults.SetFromScenario(sc, sys.Machines)
+			for _, name := range ChaosHeuristics {
+				alloc := initial[name].Alloc.Clone()
+				mapped := append([]bool(nil), initial[name].Mapped...)
+				res, err := dynamic.Survive(alloc, mapped, down)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Feasible {
+					return nil, fmt.Errorf("experiments: chaos run %d: %s failover infeasible after %d hits", run, name, f)
+				}
+				if dynamic.UsesFailed(alloc, down) {
+					return nil, fmt.Errorf("experiments: chaos run %d: %s failover kept a failed resource", run, name)
+				}
+				pt := &out.Rows[name][fi]
+				pt.Retained.Add(res.Retained)
+				pt.Slackness.Add(res.SlacknessAfter)
+				pt.Cost.Add(res.CostSeconds)
+				pt.Evictions.Add(float64(res.NetEvictions()))
+			}
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "chaos study: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	return out, nil
+}
+
+// WriteTable renders the chaos study: worth-retained and slackness-after-
+// repair curves versus the number of simultaneous compartment hits.
+func (c *ChaosStudy) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Study E19: Monte Carlo survivability under compartment hits (scenario 3, %d runs)\n", c.Runs)
+	for _, name := range ChaosHeuristics {
+		fmt.Fprintf(w, "%s (initial slackness %s):\n", name, c.InitialSlackness[name].String())
+		fmt.Fprintf(w, "  %6s  %22s  %22s  %14s  %12s\n",
+			"hits", "retained worth", "slackness after", "cost (s)", "evictions")
+		for _, pt := range c.Rows[name] {
+			fmt.Fprintf(w, "  %6d  %22s  %22s  %14.2f  %12.2f\n",
+				pt.Hits, pt.Retained.String(), pt.Slackness.String(), pt.Cost.Mean(), pt.Evictions.Mean())
+		}
+	}
+}

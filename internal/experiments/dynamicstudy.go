@@ -82,16 +82,9 @@ func RunDynamicStudy(opts Options, scales []float64) (*DynamicStudy, error) {
 				if res.WorthBefore > 0 {
 					pt.RetainedWorth.Add(res.WorthAfter / res.WorthBefore)
 				}
-				mig, evi := 0, 0
-				for _, a := range res.Actions {
-					if a.Kind == dynamic.Migrated {
-						mig++
-					} else {
-						evi++
-					}
-				}
+				mig, _, _ := res.Counts()
 				pt.Migrations.Add(float64(mig))
-				pt.Evictions.Add(float64(evi))
+				pt.Evictions.Add(float64(res.NetEvictions()))
 				if res.Feasible {
 					pt.RepairFeasible++
 				}

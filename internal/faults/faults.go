@@ -1,0 +1,304 @@
+// Package faults models resource failures in the Total Ship Computing
+// Environment. The paper motivates system slackness Λ as headroom against
+// "unpredictable changes" in a shipboard environment; beyond workload surges
+// (package dynamic's γ-scaling), the change a ship actually plans for is
+// battle damage and equipment outage — losing machines and communication
+// routes. This package provides the failure vocabulary shared by the failover
+// controller (dynamic.Survive), the discrete-event simulator (sim.Config
+// failure traces), and the chaos experiment (experiments.Chaos):
+//
+//   - Resource: a machine or a directed inter-machine route;
+//   - Event: a timed outage of one resource (optionally repaired later);
+//   - Scenario: a named set of events, loadable from JSON scenario files;
+//   - Set: the instantaneous "what is down" view consumed by the static
+//     failover analysis;
+//   - CompartmentHit: the correlated failure of a machine together with all
+//     of its incident routes, modeling physical damage to one compartment;
+//   - MonteCarlo (montecarlo.go): seeded random scenario generation.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// ResourceKind discriminates the two failable resource classes.
+type ResourceKind string
+
+const (
+	// MachineResource is a compute machine of the suite.
+	MachineResource ResourceKind = "machine"
+	// RouteResource is a directed virtual point-to-point route.
+	RouteResource ResourceKind = "route"
+)
+
+// Resource identifies one failable hardware resource. For machines only
+// Machine is meaningful; for routes, From and To name the directed route.
+type Resource struct {
+	Kind    ResourceKind `json:"kind"`
+	Machine int          `json:"machine,omitempty"`
+	From    int          `json:"from,omitempty"`
+	To      int          `json:"to,omitempty"`
+}
+
+// Machine returns a machine resource.
+func Machine(j int) Resource { return Resource{Kind: MachineResource, Machine: j} }
+
+// Route returns a directed route resource.
+func Route(from, to int) Resource { return Resource{Kind: RouteResource, From: from, To: to} }
+
+func (r Resource) String() string {
+	if r.Kind == MachineResource {
+		return fmt.Sprintf("machine %d", r.Machine)
+	}
+	return fmt.Sprintf("route %d->%d", r.From, r.To)
+}
+
+// validate checks the resource against a suite of m machines.
+func (r Resource) validate(m int) error {
+	switch r.Kind {
+	case MachineResource:
+		if r.Machine < 0 || r.Machine >= m {
+			return fmt.Errorf("faults: machine %d out of range [0,%d)", r.Machine, m)
+		}
+	case RouteResource:
+		if r.From < 0 || r.From >= m || r.To < 0 || r.To >= m {
+			return fmt.Errorf("faults: route %d->%d out of range [0,%d)", r.From, r.To, m)
+		}
+		if r.From == r.To {
+			return fmt.Errorf("faults: route %d->%d is intra-machine and cannot fail", r.From, r.To)
+		}
+	default:
+		return fmt.Errorf("faults: unknown resource kind %q", r.Kind)
+	}
+	return nil
+}
+
+// Event is one timed outage: the resource goes down at time At (seconds of
+// simulated time) and comes back up after Duration seconds. Duration <= 0
+// means the outage is permanent — the resource is never repaired.
+type Event struct {
+	Resource Resource `json:"resource"`
+	At       float64  `json:"at"`
+	Duration float64  `json:"duration,omitempty"`
+}
+
+// Permanent reports whether the outage is never repaired.
+func (e Event) Permanent() bool { return e.Duration <= 0 }
+
+// UpAt returns the repair time, or +Inf for a permanent outage.
+func (e Event) UpAt() float64 {
+	if e.Permanent() {
+		return math.Inf(1)
+	}
+	return e.At + e.Duration
+}
+
+// Scenario is a named failure scenario: a set of outage events applied to one
+// system. Scenarios serialize to JSON so chaos experiments and the shipsched
+// fault mode can share hand-written or sampled scenario files.
+type Scenario struct {
+	Name string `json:"name,omitempty"`
+	// Seed records the Monte Carlo seed a sampled scenario came from
+	// (0 for hand-written scenarios); informational only.
+	Seed   int64   `json:"seed,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// Validate checks every event against a suite of m machines. Event times must
+// be finite and non-negative; durations must be finite.
+func (sc *Scenario) Validate(m int) error {
+	for idx, e := range sc.Events {
+		if err := e.Resource.validate(m); err != nil {
+			return fmt.Errorf("faults: event %d: %w", idx, err)
+		}
+		if e.At < 0 || math.IsNaN(e.At) || math.IsInf(e.At, 0) {
+			return fmt.Errorf("faults: event %d (%v): at = %v, want finite non-negative", idx, e.Resource, e.At)
+		}
+		if math.IsNaN(e.Duration) || math.IsInf(e.Duration, 0) {
+			return fmt.Errorf("faults: event %d (%v): duration = %v, want finite", idx, e.Resource, e.Duration)
+		}
+	}
+	return nil
+}
+
+// ValidateFor checks the scenario against a concrete system.
+func (sc *Scenario) ValidateFor(sys *model.System) error { return sc.Validate(sys.Machines) }
+
+// Sorted returns a copy of the events ordered by failure time (ties keep the
+// scenario's order), the canonical order the simulator processes them in.
+func (sc *Scenario) Sorted() []Event {
+	out := append([]Event(nil), sc.Events...)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out
+}
+
+// ActiveAt returns the set of resources down at time t in a suite of m
+// machines.
+func (sc *Scenario) ActiveAt(t float64, m int) *Set {
+	s := NewSet(m)
+	for _, e := range sc.Events {
+		if e.At <= t && t < e.UpAt() {
+			s.Fail(e.Resource)
+		}
+	}
+	return s
+}
+
+// CompartmentHit returns the correlated events of a physical hit on the
+// compartment holding machine j at time at: the machine and every incident
+// route (both directions) go down together. Duration <= 0 makes the hit
+// permanent.
+func CompartmentHit(m, j int, at, duration float64) []Event {
+	events := []Event{{Resource: Machine(j), At: at, Duration: duration}}
+	for other := 0; other < m; other++ {
+		if other == j {
+			continue
+		}
+		events = append(events,
+			Event{Resource: Route(j, other), At: at, Duration: duration},
+			Event{Resource: Route(other, j), At: at, Duration: duration})
+	}
+	return events
+}
+
+// WriteJSON serializes the scenario as indented JSON.
+func (sc *Scenario) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sc); err != nil {
+		return fmt.Errorf("faults: encoding scenario: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a scenario from JSON. Callers validate against their system
+// with ValidateFor (the machine count is not part of the scenario file).
+func ReadJSON(r io.Reader) (*Scenario, error) {
+	var sc Scenario
+	if err := json.NewDecoder(r).Decode(&sc); err != nil {
+		return nil, fmt.Errorf("faults: decoding scenario: %w", err)
+	}
+	return &sc, nil
+}
+
+// SaveFile writes the scenario to path as JSON.
+func (sc *Scenario) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("faults: %w", err)
+	}
+	defer f.Close()
+	if err := sc.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a scenario from a JSON file.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// Set is the instantaneous outage state of a suite: which machines and which
+// directed routes are currently down. It is the static view the failover
+// controller plans against.
+type Set struct {
+	machines []bool
+	routes   [][]bool
+}
+
+// NewSet returns an empty outage set for a suite of m machines.
+func NewSet(m int) *Set {
+	s := &Set{machines: make([]bool, m), routes: make([][]bool, m)}
+	for j := range s.routes {
+		s.routes[j] = make([]bool, m)
+	}
+	return s
+}
+
+// SetFromScenario collapses a scenario to the outage set of every resource
+// that fails at any point (ignoring repair times) — the planning view for a
+// static survivability analysis, which must hold even while everything listed
+// is down at once.
+func SetFromScenario(sc *Scenario, m int) *Set {
+	s := NewSet(m)
+	for _, e := range sc.Events {
+		s.Fail(e.Resource)
+	}
+	return s
+}
+
+// Fail marks a resource down. Failing a machine does not implicitly fail its
+// routes; use CompartmentHit for correlated loss.
+func (s *Set) Fail(r Resource) {
+	if r.Kind == MachineResource {
+		s.machines[r.Machine] = true
+	} else {
+		s.routes[r.From][r.To] = true
+	}
+}
+
+// Down reports whether the resource is down.
+func (s *Set) Down(r Resource) bool {
+	if r.Kind == MachineResource {
+		return s.machines[r.Machine]
+	}
+	return s.routes[r.From][r.To]
+}
+
+// Machines returns the size of the suite the set was built for.
+func (s *Set) Machines() int { return len(s.machines) }
+
+// MachineDown reports whether machine j is down.
+func (s *Set) MachineDown(j int) bool { return s.machines[j] }
+
+// RouteDown reports whether the directed route j1 -> j2 is down.
+// Intra-machine "routes" never fail.
+func (s *Set) RouteDown(j1, j2 int) bool {
+	if j1 == j2 {
+		return false
+	}
+	return s.routes[j1][j2]
+}
+
+// MachinesDown returns the number of failed machines.
+func (s *Set) MachinesDown() int {
+	n := 0
+	for _, d := range s.machines {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// RoutesDown returns the number of failed directed routes.
+func (s *Set) RoutesDown() int {
+	n := 0
+	for _, row := range s.routes {
+		for _, d := range row {
+			if d {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Empty reports whether nothing is down.
+func (s *Set) Empty() bool { return s.MachinesDown() == 0 && s.RoutesDown() == 0 }
+
+// AliveMachines returns the number of machines still up.
+func (s *Set) AliveMachines() int { return len(s.machines) - s.MachinesDown() }

@@ -1,0 +1,229 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestScenarioValidate(t *testing.T) {
+	good := &Scenario{Events: []Event{
+		{Resource: Machine(0), At: 1, Duration: 5},
+		{Resource: Route(1, 2), At: 0},
+	}}
+	if err := good.Validate(3); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	bad := []Scenario{
+		{Events: []Event{{Resource: Machine(3), At: 0}}},
+		{Events: []Event{{Resource: Machine(-1), At: 0}}},
+		{Events: []Event{{Resource: Route(0, 3), At: 0}}},
+		{Events: []Event{{Resource: Route(1, 1), At: 0}}},
+		{Events: []Event{{Resource: Resource{Kind: "disk"}, At: 0}}},
+		{Events: []Event{{Resource: Machine(0), At: -1}}},
+		{Events: []Event{{Resource: Machine(0), At: math.NaN()}}},
+		{Events: []Event{{Resource: Machine(0), At: 0, Duration: math.Inf(1)}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(3); err == nil {
+			t.Errorf("invalid scenario %d accepted", i)
+		}
+	}
+}
+
+func TestEventTiming(t *testing.T) {
+	perm := Event{Resource: Machine(0), At: 3}
+	if !perm.Permanent() || !math.IsInf(perm.UpAt(), 1) {
+		t.Errorf("zero-duration event not permanent: up at %v", perm.UpAt())
+	}
+	timed := Event{Resource: Machine(0), At: 3, Duration: 4}
+	if timed.Permanent() || timed.UpAt() != 7 {
+		t.Errorf("timed event: permanent=%v up=%v, want false/7", timed.Permanent(), timed.UpAt())
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	sc := &Scenario{Events: []Event{
+		{Resource: Machine(1), At: 2, Duration: 3}, // down on [2, 5)
+		{Resource: Route(0, 2), At: 4},             // permanent
+	}}
+	for _, tc := range []struct {
+		t        float64
+		machine1 bool
+		route02  bool
+	}{
+		{0, false, false}, {2, true, false}, {4.5, true, true}, {5, false, true}, {100, false, true},
+	} {
+		s := sc.ActiveAt(tc.t, 3)
+		if s.MachineDown(1) != tc.machine1 || s.RouteDown(0, 2) != tc.route02 {
+			t.Errorf("t=%v: machine1=%v route02=%v, want %v/%v",
+				tc.t, s.MachineDown(1), s.RouteDown(0, 2), tc.machine1, tc.route02)
+		}
+	}
+}
+
+func TestCompartmentHit(t *testing.T) {
+	events := CompartmentHit(4, 2, 1, 10)
+	// 1 machine + 3 incident machines × 2 directions.
+	if len(events) != 7 {
+		t.Fatalf("%d events, want 7", len(events))
+	}
+	s := NewSet(4)
+	for _, e := range events {
+		if e.At != 1 || e.Duration != 10 {
+			t.Errorf("event %v times not propagated", e)
+		}
+		s.Fail(e.Resource)
+	}
+	if !s.MachineDown(2) || s.MachineDown(0) {
+		t.Error("wrong machine down")
+	}
+	for other := 0; other < 4; other++ {
+		if other == 2 {
+			continue
+		}
+		if !s.RouteDown(2, other) || !s.RouteDown(other, 2) {
+			t.Errorf("incident route with %d not down", other)
+		}
+	}
+	if s.RouteDown(0, 1) {
+		t.Error("unrelated route down")
+	}
+	if s.MachinesDown() != 1 || s.RoutesDown() != 6 || s.AliveMachines() != 3 {
+		t.Errorf("counts: %d machines, %d routes, %d alive", s.MachinesDown(), s.RoutesDown(), s.AliveMachines())
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3)
+	if !s.Empty() {
+		t.Error("new set not empty")
+	}
+	if s.RouteDown(1, 1) {
+		t.Error("intra-machine route reported down")
+	}
+	s.Fail(Route(0, 1))
+	if s.RouteDown(1, 0) {
+		t.Error("directed failure leaked to the reverse route")
+	}
+	if s.Empty() || !s.Down(Route(0, 1)) || s.Down(Machine(0)) {
+		t.Error("set state wrong after one route failure")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	sc := &Scenario{Name: "hit", Seed: 42, Events: CompartmentHit(3, 1, 0, 60)}
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Errorf("round trip changed the scenario:\n%+v\n%+v", sc, back)
+	}
+	if err := back.Validate(3); err != nil {
+		t.Errorf("round-tripped scenario invalid: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := sc.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, loaded) {
+		t.Error("file round trip changed the scenario")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	mc := MonteCarlo{CompartmentHits: 1, MachineOutages: 2, RouteOutages: 3, Window: 100, MeanDowntime: 30}
+	a, err := mc.Sample(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mc.Sample(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different scenarios")
+	}
+	c, err := mc.Sample(12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds produced identical scenarios")
+	}
+	if err := a.Validate(12); err != nil {
+		t.Errorf("sampled scenario invalid: %v", err)
+	}
+}
+
+func TestMonteCarloCounts(t *testing.T) {
+	mc := MonteCarlo{CompartmentHits: 2, MachineOutages: 1, RouteOutages: 4}
+	sc, err := mc.Sample(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := SetFromScenario(sc, 6)
+	if got := set.MachinesDown(); got != 3 {
+		t.Errorf("%d machines down, want 3", got)
+	}
+	// 2 compartment hits fail 2·(6-1) = 10 routes each, plus 4 isolated route
+	// outages that may overlap the compartment routes.
+	if got := set.RoutesDown(); got < 20 || got > 24 {
+		t.Errorf("%d routes down, want in [20, 24]", got)
+	}
+	// Window 0, MeanDowntime 0: all failures permanent at t = 0.
+	for _, e := range sc.Events {
+		if e.At != 0 || !e.Permanent() {
+			t.Errorf("event %+v should be permanent at t=0", e)
+		}
+	}
+}
+
+func TestMonteCarloValidate(t *testing.T) {
+	bad := []MonteCarlo{
+		{CompartmentHits: -1},
+		{MachineOutages: 4},                     // > 3 machines
+		{CompartmentHits: 2, MachineOutages: 2}, // combined > 3 machines
+		{RouteOutages: 7},                       // > 3·2 directed routes
+		{Window: -1},
+		{MeanDowntime: -1},
+	}
+	for i, mc := range bad {
+		if _, err := mc.Sample(3, 1); err == nil {
+			t.Errorf("invalid generator %d accepted: %+v", i, mc)
+		}
+	}
+}
+
+func TestSortedOrdersByTime(t *testing.T) {
+	sc := &Scenario{Events: []Event{
+		{Resource: Machine(0), At: 5},
+		{Resource: Machine(1), At: 1},
+		{Resource: Route(0, 1), At: 3},
+	}}
+	got := sc.Sorted()
+	for i := 1; i < len(got); i++ {
+		if got[i-1].At > got[i].At {
+			t.Fatalf("events not sorted: %+v", got)
+		}
+	}
+	// Original untouched.
+	if sc.Events[0].At != 5 {
+		t.Error("Sorted mutated the scenario")
+	}
+}

@@ -24,9 +24,23 @@ import (
 // The routine performs no feasibility checking; callers apply the two-stage
 // analysis afterwards and roll back with UnassignString on failure.
 func MapStringIMR(a *feasibility.Allocation, k int) {
+	MapStringIMRMasked(a, k, nil, nil)
+}
+
+// MapStringIMRMasked runs the IMR on string k restricted to the machines
+// machineOK allows and the inter-machine routes routeOK allows (a nil mask
+// allows everything) — the fault-aware variant the failover controller uses
+// to re-place strings without touching failed resources. Intra-machine hops
+// use no route and are always allowed. It reports whether a full placement
+// was found; on failure the string is left completely unassigned. With nil
+// masks it never fails and is exactly MapStringIMR.
+func MapStringIMRMasked(a *feasibility.Allocation, k int, machineOK func(j int) bool, routeOK func(j1, j2 int) bool) bool {
 	sys := a.System()
 	s := &sys.Strings[k]
 	n := len(s.Apps)
+
+	allowMachine := func(j int) bool { return machineOK == nil || machineOK(j) }
+	allowRoute := func(j1, j2 int) bool { return j1 == j2 || routeOK == nil || routeOK(j1, j2) }
 
 	// Machine-averaged intensity t_av[i]*u_av[i]/P[k]; the period is constant
 	// within the string, so the raw averaged work preserves the argmax.
@@ -46,14 +60,20 @@ func MapStringIMR(a *feasibility.Allocation, k int) {
 		return best
 	}
 
-	// Step 1-2: place the single most intensive application on the machine
-	// with the smallest resulting utilization.
+	// Step 1-2: place the single most intensive application on the allowed
+	// machine with the smallest resulting utilization.
 	first := mostIntensiveUnassigned()
-	bestJ, bestU := 0, a.MachineUtilizationIf(0, k, first)
-	for j := 1; j < sys.Machines; j++ {
-		if u := a.MachineUtilizationIf(j, k, first); u < bestU {
+	bestJ, bestU := -1, 0.0
+	for j := 0; j < sys.Machines; j++ {
+		if !allowMachine(j) {
+			continue
+		}
+		if u := a.MachineUtilizationIf(j, k, first); bestJ < 0 || u < bestU {
 			bestJ, bestU = j, u
 		}
+	}
+	if bestJ < 0 {
+		return false
 	}
 	a.Assign(k, first, bestJ)
 	assigned[first] = true
@@ -66,35 +86,52 @@ func MapStringIMR(a *feasibility.Allocation, k int) {
 		for target > iRight {
 			iRight++
 			prev := a.Machine(k, iRight-1)
-			bestJ := argminMaxUtil(a, k, iRight, func(j int) float64 {
+			bestJ := argminMaxUtil(a, k, iRight, allowMachine, func(j int) (float64, bool) {
 				// Route carrying O[iRight-1] from the predecessor to j.
-				return a.RouteUtilizationIf(prev, j, k, iRight-1)
+				return a.RouteUtilizationIf(prev, j, k, iRight-1), allowRoute(prev, j)
 			})
+			if bestJ < 0 {
+				a.UnassignString(k)
+				return false
+			}
 			a.Assign(k, iRight, bestJ)
 			assigned[iRight] = true
 		}
 		for target < iLeft {
 			iLeft--
 			next := a.Machine(k, iLeft+1)
-			bestJ := argminMaxUtil(a, k, iLeft, func(j int) float64 {
+			bestJ := argminMaxUtil(a, k, iLeft, allowMachine, func(j int) (float64, bool) {
 				// Route carrying O[iLeft] from j to the successor.
-				return a.RouteUtilizationIf(j, next, k, iLeft)
+				return a.RouteUtilizationIf(j, next, k, iLeft), allowRoute(j, next)
 			})
+			if bestJ < 0 {
+				a.UnassignString(k)
+				return false
+			}
 			a.Assign(k, iLeft, bestJ)
 			assigned[iLeft] = true
 		}
 	}
+	return true
 }
 
-// argminMaxUtil selects the machine minimizing
-// max(U_machine[j, i, k], routeIf(j)), the IMR candidate-selection parameter.
-func argminMaxUtil(a *feasibility.Allocation, k, i int, routeIf func(j int) float64) int {
+// argminMaxUtil selects the allowed machine minimizing
+// max(U_machine[j, i, k], routeIf(j)), the IMR candidate-selection parameter;
+// routeIf also reports whether the route placement j implies is allowed.
+// Returns -1 when no machine qualifies.
+func argminMaxUtil(a *feasibility.Allocation, k, i int, allowMachine func(j int) bool, routeIf func(j int) (float64, bool)) int {
 	sys := a.System()
-	bestJ := 0
-	bestVal := maxf(a.MachineUtilizationIf(0, k, i), routeIf(0))
-	for j := 1; j < sys.Machines; j++ {
-		v := maxf(a.MachineUtilizationIf(j, k, i), routeIf(j))
-		if v < bestVal {
+	bestJ, bestVal := -1, 0.0
+	for j := 0; j < sys.Machines; j++ {
+		if !allowMachine(j) {
+			continue
+		}
+		routeU, ok := routeIf(j)
+		if !ok {
+			continue
+		}
+		v := maxf(a.MachineUtilizationIf(j, k, i), routeU)
+		if bestJ < 0 || v < bestVal {
 			bestJ, bestVal = j, v
 		}
 	}

@@ -1,0 +1,166 @@
+// Failure injection: the simulator accepts a trace of resource outages
+// (faults.Event) and replays it against the running allocation. A machine
+// outage freezes and loses the in-flight work of every active job on the
+// machine (the data set restarts its computation from scratch after repair);
+// a route outage loses the in-flight transfer at the head of the route. A
+// permanent outage strands every data set that must still cross the failed
+// resource — the run drains what can finish and reports the rest as
+// Unfinished.
+
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/faults"
+)
+
+// FailureStats reports the impact of one injected failure event.
+type FailureStats struct {
+	// Event is the injected outage.
+	Event faults.Event
+	// LostJobs and LostTransfers count in-flight work lost at failure time:
+	// active application instances on a failed machine and the in-service
+	// transfer on a failed route.
+	LostJobs      int
+	LostTransfers int
+	// Disrupted counts the distinct data sets that lost work to this event;
+	// Recovered counts how many of them still completed by the end of the run.
+	Disrupted int
+	Recovered int
+	// RecoveryLatency is the time from the resource's repair until the last
+	// disrupted data set completed (0 if nothing was disrupted, the outage is
+	// permanent, or nothing recovered).
+	RecoveryLatency float64
+}
+
+// boundary is one down/up edge of the failure timeline.
+type boundary struct {
+	t    float64
+	res  faults.Resource
+	down bool
+	ev   int // index into simulator.fstats
+}
+
+// failureState holds the simulator's outage bookkeeping.
+type failureState struct {
+	machDown  []bool
+	routeDown [][]bool
+	timeline  []boundary
+	next      int // first unapplied boundary
+	fstats    []FailureStats
+	// pending[ev] holds the disrupted data sets of event ev that have not
+	// completed yet.
+	pending []map[[2]int]bool
+}
+
+func newFailureState(m int, events []faults.Event) *failureState {
+	f := &failureState{
+		machDown:  make([]bool, m),
+		routeDown: make([][]bool, m),
+		fstats:    make([]FailureStats, len(events)),
+		pending:   make([]map[[2]int]bool, len(events)),
+	}
+	for j := range f.routeDown {
+		f.routeDown[j] = make([]bool, m)
+	}
+	for i, e := range events {
+		f.fstats[i].Event = e
+		f.pending[i] = map[[2]int]bool{}
+		f.timeline = append(f.timeline, boundary{t: e.At, res: e.Resource, down: true, ev: i})
+		if !e.Permanent() {
+			f.timeline = append(f.timeline, boundary{t: e.UpAt(), res: e.Resource, down: false, ev: i})
+		}
+	}
+	sort.SliceStable(f.timeline, func(a, b int) bool { return f.timeline[a].t < f.timeline[b].t })
+	return f
+}
+
+// nextBoundary returns the time of the next unapplied down/up edge, or +Inf.
+func (f *failureState) nextBoundary() (float64, bool) {
+	if f.next >= len(f.timeline) {
+		return 0, false
+	}
+	return f.timeline[f.next].t, true
+}
+
+// routeUp reports whether the directed route is currently serving transfers.
+func (f *failureState) routeUp(j1, j2 int) bool { return !f.routeDown[j1][j2] }
+
+// applyBoundaries applies every down/up edge ripe at the current time and
+// reports whether any was applied. A completion due exactly at failure time
+// loses the race: the work is lost, not finished.
+func (s *simulator) applyBoundaries() bool {
+	f := s.fail
+	applied := false
+	for f.next < len(f.timeline) && f.timeline[f.next].t <= s.now+workEps {
+		b := f.timeline[f.next]
+		f.next++
+		applied = true
+		if b.res.Kind == faults.MachineResource {
+			f.machDown[b.res.Machine] = b.down
+			if b.down {
+				s.loseMachineWork(b.res.Machine, b.ev)
+			}
+		} else {
+			f.routeDown[b.res.From][b.res.To] = b.down
+			if b.down {
+				s.loseRouteWork(b.res.From, b.res.To, b.ev)
+			}
+		}
+	}
+	return applied
+}
+
+// loseMachineWork resets every active job on machine j to its full work: the
+// in-flight data set is lost and recomputed from scratch after repair.
+func (s *simulator) loseMachineWork(j, ev int) {
+	sys := s.alloc.System()
+	st := &s.fail.fstats[ev]
+	for _, jb := range s.mach[j].jobs {
+		jb.remaining = sys.Strings[jb.k].Apps[jb.i].Work(j) * s.cfg.WorkloadScale
+		st.LostJobs++
+		s.markDisrupted(ev, jb.k, jb.q)
+	}
+}
+
+// loseRouteWork resets the in-service (head) transfer of route j1->j2; queued
+// transfers behind it had made no progress.
+func (s *simulator) loseRouteWork(j1, j2, ev int) {
+	r := s.routes[[2]int{j1, j2}]
+	if r == nil || len(r.transfers) == 0 {
+		return
+	}
+	head := r.transfers[0]
+	head.remainingMb = head.sizeMb
+	st := &s.fail.fstats[ev]
+	st.LostTransfers++
+	s.markDisrupted(ev, head.k, head.q)
+}
+
+func (s *simulator) markDisrupted(ev, k, q int) {
+	key := [2]int{k, q}
+	if !s.fail.pending[ev][key] {
+		s.fail.pending[ev][key] = true
+		s.fail.fstats[ev].Disrupted++
+	}
+}
+
+// noteCompleted credits a finished data set to every failure event that
+// disrupted it and updates the event's recovery latency.
+func (s *simulator) noteCompleted(k, q int) {
+	key := [2]int{k, q}
+	for ev := range s.fail.pending {
+		if !s.fail.pending[ev][key] {
+			continue
+		}
+		delete(s.fail.pending[ev], key)
+		st := &s.fail.fstats[ev]
+		st.Recovered++
+		if !st.Event.Permanent() {
+			if lat := s.now - st.Event.UpAt(); lat > st.RecoveryLatency {
+				st.RecoveryLatency = lat
+			}
+		}
+	}
+}

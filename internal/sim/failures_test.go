@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/feasibility"
+	"repro/internal/model"
+)
+
+// oneAppSystem: one string, one application with nominal time 4 s at
+// utilization 0.5 (2 CPU-seconds of work), period 10, Lmax 100.
+func oneAppSystem() (*model.System, *feasibility.Allocation) {
+	sys := model.NewUniformSystem(2, 5)
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 100,
+		Apps: []model.Application{model.UniformApp(2, 4, 0.5, 1)}})
+	a := feasibility.New(sys)
+	a.Assign(0, 0, 0)
+	return sys, a
+}
+
+// TestMachineOutageLosesInFlightWork: the job is half done when its machine
+// fails; the data set restarts from scratch after repair.
+//
+// Timeline: release at 0, rate 0.5, 2 CPU-s of work → would finish at 4.
+// Machine 0 down at t=2 (1 CPU-s done, lost), up at t=5, re-executes the
+// full 2 CPU-s → completes at 9.
+func TestMachineOutageLosesInFlightWork(t *testing.T) {
+	_, a := oneAppSystem()
+	res, err := Run(a, Config{Periods: 1, Failures: []faults.Event{
+		{Resource: faults.Machine(0), At: 2, Duration: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strings[0].Completed != 1 || res.Unfinished != 0 {
+		t.Fatalf("completed %d unfinished %d, want 1/0", res.Strings[0].Completed, res.Unfinished)
+	}
+	if !approx(res.Strings[0].MeanLatency, 9, 1e-9) {
+		t.Errorf("latency %v, want 9 (4 s execution + 3 s outage + 2 s lost work)", res.Strings[0].MeanLatency)
+	}
+	fs := res.Failures[0]
+	if fs.LostJobs != 1 || fs.LostTransfers != 0 || fs.Disrupted != 1 || fs.Recovered != 1 {
+		t.Errorf("failure stats %+v, want 1 lost job, 1 disrupted, 1 recovered", fs)
+	}
+	if !approx(fs.RecoveryLatency, 4, 1e-9) {
+		t.Errorf("recovery latency %v, want 4 (repair at 5, completion at 9)", fs.RecoveryLatency)
+	}
+	// The machine executed 1 CPU-s of lost work plus the full 2 CPU-s rerun.
+	if !approx(res.MachineBusySeconds[0], 3, 1e-9) {
+		t.Errorf("busy %v CPU-s, want 3 (1 lost + 2 rerun)", res.MachineBusySeconds[0])
+	}
+}
+
+// TestPermanentMachineOutageStrands: with no repair the data set never
+// completes and is reported as unfinished.
+func TestPermanentMachineOutageStrands(t *testing.T) {
+	_, a := oneAppSystem()
+	res, err := Run(a, Config{Periods: 2, Failures: []faults.Event{
+		{Resource: faults.Machine(0), At: 2}, // Duration 0: permanent
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strings[0].Completed != 0 || res.Unfinished != 2 {
+		t.Fatalf("completed %d unfinished %d, want 0/2", res.Strings[0].Completed, res.Unfinished)
+	}
+	fs := res.Failures[0]
+	if fs.LostJobs != 1 || fs.Recovered != 0 || fs.RecoveryLatency != 0 {
+		t.Errorf("failure stats %+v, want 1 lost job, nothing recovered", fs)
+	}
+}
+
+// TestRouteOutageLosesInFlightTransfer: the head transfer restarts from its
+// full size after the route is repaired.
+//
+// Timeline: app 0 (machine 0) finishes at 2; the 8 Mb transfer on the 5 Mbps
+// route would finish at 3.6. Route down at t=2.8 (4 Mb sent, lost), up at
+// 4.8, full 8 Mb resent → transfer done at 6.4; app 1 (machine 1) runs 2 s →
+// data set completes at 8.4.
+func TestRouteOutageLosesInFlightTransfer(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	sys.AddString(model.AppString{Worth: 10, Period: 20, MaxLatency: 100,
+		Apps: []model.Application{model.UniformApp(2, 2, 0.5, 1000), model.UniformApp(2, 2, 0.5, 1000)}})
+	a := feasibility.New(sys)
+	a.AssignString(0, []int{0, 1})
+	res, err := Run(a, Config{Periods: 1, Failures: []faults.Event{
+		{Resource: faults.Route(0, 1), At: 2.8, Duration: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strings[0].Completed != 1 {
+		t.Fatalf("completed %d, want 1", res.Strings[0].Completed)
+	}
+	if !approx(res.Strings[0].MeanLatency, 8.4, 1e-9) {
+		t.Errorf("latency %v, want 8.4", res.Strings[0].MeanLatency)
+	}
+	if !approx(res.Strings[0].Apps[0].MeanTran, 4.4, 1e-9) {
+		t.Errorf("transfer time %v, want 4.4 (1.6 s nominal + 2 s outage + 0.8 s resend)", res.Strings[0].Apps[0].MeanTran)
+	}
+	fs := res.Failures[0]
+	if fs.LostJobs != 0 || fs.LostTransfers != 1 || fs.Disrupted != 1 || fs.Recovered != 1 {
+		t.Errorf("failure stats %+v, want 1 lost transfer, 1 disrupted, 1 recovered", fs)
+	}
+	if !approx(fs.RecoveryLatency, 3.6, 1e-9) {
+		t.Errorf("recovery latency %v, want 3.6 (repair at 4.8, completion at 8.4)", fs.RecoveryLatency)
+	}
+}
+
+// TestOutageOnIdleResource: failing a machine nothing runs on disturbs
+// nothing.
+func TestOutageOnIdleResource(t *testing.T) {
+	_, a := oneAppSystem()
+	res, err := Run(a, Config{Periods: 1, Failures: []faults.Event{
+		{Resource: faults.Machine(1), At: 1, Duration: 100},
+		{Resource: faults.Route(1, 0), At: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strings[0].Completed != 1 || !approx(res.Strings[0].MeanLatency, 4, 1e-9) {
+		t.Errorf("latency %v completed %d, want undisturbed 4/1", res.Strings[0].MeanLatency, res.Strings[0].Completed)
+	}
+	for _, fs := range res.Failures {
+		if fs.LostJobs != 0 || fs.LostTransfers != 0 || fs.Disrupted != 0 {
+			t.Errorf("idle-resource outage disturbed work: %+v", fs)
+		}
+	}
+}
+
+// TestOutageCausesQoSViolations: a long outage pushes the computation time
+// past the period and the latency past Lmax.
+func TestOutageCausesQoSViolations(t *testing.T) {
+	sys := model.NewUniformSystem(2, 5)
+	sys.AddString(model.AppString{Worth: 10, Period: 10, MaxLatency: 12,
+		Apps: []model.Application{model.UniformApp(2, 4, 0.5, 1)}})
+	a := feasibility.New(sys)
+	a.Assign(0, 0, 0)
+	res, err := Run(a, Config{Periods: 1, Failures: []faults.Event{
+		{Resource: faults.Machine(0), At: 2, Duration: 20},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down 2..22, rerun 22..26: comp 26 > period 10 and latency 26 > Lmax 12.
+	if res.Strings[0].ThroughputViolations != 1 || res.Strings[0].LatencyViolations != 1 {
+		t.Errorf("violations %d/%d, want 1/1", res.Strings[0].ThroughputViolations, res.Strings[0].LatencyViolations)
+	}
+	if res.QoSViolations != 2 {
+		t.Errorf("QoS violations %d, want 2", res.QoSViolations)
+	}
+}
+
+// TestConfigValidation: satellite check — unusable configs are rejected with
+// errors naming the offending field.
+func TestConfigValidation(t *testing.T) {
+	_, a := oneAppSystem()
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative periods", Config{Periods: -1}, "Periods"},
+		{"negative scale", Config{WorkloadScale: -2}, "WorkloadScale"},
+		{"NaN scale", Config{WorkloadScale: math.NaN()}, "WorkloadScale"},
+		{"Inf scale", Config{WorkloadScale: math.Inf(1)}, "WorkloadScale"},
+		{"phase count", Config{Phases: []float64{0, 0}}, "phases for"},
+		{"negative phase", Config{Phases: []float64{-1}}, "Phases[0]"},
+		{"bad failure machine", Config{Failures: []faults.Event{{Resource: faults.Machine(9)}}}, "machine 9"},
+		{"bad failure time", Config{Failures: []faults.Event{{Resource: faults.Machine(0), At: -1}}}, "at = -1"},
+	}
+	for _, c := range cases {
+		_, err := Run(a, c.cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %q", c.name, err, c.want)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/feasibility"
 )
 
@@ -50,6 +51,10 @@ type Config struct {
 	// paper's worst-case overlap where periods are "lined up at their
 	// beginnings" (Figure 2). Negative phases are rejected.
 	Phases []float64
+	// Failures is an optional outage trace injected mid-run (see failures.go):
+	// in-flight work on a failed resource is lost and recomputed after repair,
+	// and permanently failed resources strand their remaining data sets.
+	Failures []faults.Event
 }
 
 // AppStats aggregates measurements for one application or its outgoing
@@ -85,6 +90,12 @@ type Result struct {
 	QoSViolations int
 	// Duration is the simulated time at which the last data set completed.
 	Duration float64
+	// Unfinished counts released data sets that never completed — stranded
+	// behind a permanently failed resource.
+	Unfinished int
+	// Failures reports, per injected outage event, the work lost and the
+	// recovery latency (same order as Config.Failures).
+	Failures []FailureStats
 	// Events counts processed simulation events.
 	Events int
 	// MachineBusySeconds[j] is the CPU time machine j spent executing.
@@ -109,6 +120,7 @@ type job struct {
 type transfer struct {
 	k, i, q     int
 	remainingMb float64 // megabits
+	sizeMb      float64 // full size, restored when a route failure loses the transfer
 	priority    int
 	queuedAt    float64
 }
@@ -139,6 +151,7 @@ type simulator struct {
 	apps   [][]appState
 	mach   []machineState
 	routes map[[2]int]*routeState
+	fail   *failureState
 	now    float64
 	relIdx []int // next data-set index to release, per string
 	// metrics
@@ -161,22 +174,41 @@ func Run(alloc *feasibility.Allocation, cfg Config) (*Result, error) {
 	if cfg.WorkloadScale == 0 {
 		cfg.WorkloadScale = 1
 	}
-	if cfg.Periods < 1 || cfg.WorkloadScale <= 0 {
-		return nil, fmt.Errorf("sim: invalid config %+v", cfg)
-	}
-	if cfg.Phases != nil {
-		if len(cfg.Phases) != len(alloc.System().Strings) {
-			return nil, fmt.Errorf("sim: %d phases for %d strings", len(cfg.Phases), len(alloc.System().Strings))
-		}
-		for k, ph := range cfg.Phases {
-			if ph < 0 || math.IsNaN(ph) || math.IsInf(ph, 0) {
-				return nil, fmt.Errorf("sim: phase[%d] = %v", k, ph)
-			}
-		}
+	if err := cfg.validate(alloc); err != nil {
+		return nil, err
 	}
 	s := newSimulator(alloc, cfg)
 	s.run()
 	return s.result(), nil
+}
+
+// validate rejects unusable configurations with an error naming the bad
+// field. Defaults (Periods, WorkloadScale) are applied before validation.
+func (cfg *Config) validate(alloc *feasibility.Allocation) error {
+	sys := alloc.System()
+	if cfg.Periods < 1 {
+		return fmt.Errorf("sim: config: Periods = %d, want at least 1", cfg.Periods)
+	}
+	if cfg.WorkloadScale <= 0 || math.IsNaN(cfg.WorkloadScale) || math.IsInf(cfg.WorkloadScale, 0) {
+		return fmt.Errorf("sim: config: WorkloadScale = %v, want positive and finite", cfg.WorkloadScale)
+	}
+	if cfg.Phases != nil {
+		if len(cfg.Phases) != len(sys.Strings) {
+			return fmt.Errorf("sim: config: %d phases for %d strings", len(cfg.Phases), len(sys.Strings))
+		}
+		for k, ph := range cfg.Phases {
+			if ph < 0 || math.IsNaN(ph) || math.IsInf(ph, 0) {
+				return fmt.Errorf("sim: config: Phases[%d] = %v, want finite non-negative", k, ph)
+			}
+		}
+	}
+	if len(cfg.Failures) > 0 {
+		sc := faults.Scenario{Events: cfg.Failures}
+		if err := sc.Validate(sys.Machines); err != nil {
+			return fmt.Errorf("sim: config: %w", err)
+		}
+	}
+	return nil
 }
 
 func newSimulator(alloc *feasibility.Allocation, cfg Config) *simulator {
@@ -189,6 +221,7 @@ func newSimulator(alloc *feasibility.Allocation, cfg Config) *simulator {
 		apps:      make([][]appState, nk),
 		mach:      make([]machineState, sys.Machines),
 		routes:    make(map[[2]int]*routeState),
+		fail:      newFailureState(sys.Machines, cfg.Failures),
 		relIdx:    make([]int, nk),
 		compSum:   make([][]float64, nk),
 		compMax:   make([][]float64, nk),
@@ -264,9 +297,10 @@ func (s *simulator) run() {
 				}
 			}
 		}
-		// Next transfer completion (only the head of each route is served).
+		// Next transfer completion (only the head of each route is served,
+		// and a failed route serves nothing).
 		for key, r := range s.routes {
-			if len(r.transfers) == 0 {
+			if len(r.transfers) == 0 || !s.fail.routeUp(key[0], key[1]) {
 				continue
 			}
 			w := sys.Bandwidth[key[0]][key[1]]
@@ -275,8 +309,12 @@ func (s *simulator) run() {
 				next = t
 			}
 		}
+		// Next failure or repair.
+		if t, ok := s.fail.nextBoundary(); ok && t < next {
+			next = t
+		}
 		if math.IsInf(next, 1) {
-			return // all work drained
+			return // all feasible work drained
 		}
 		s.advanceTo(next)
 		s.processDue()
@@ -302,7 +340,7 @@ func (s *simulator) advanceTo(t float64) {
 		}
 	}
 	for key, r := range s.routes {
-		if len(r.transfers) == 0 {
+		if len(r.transfers) == 0 || !s.fail.routeUp(key[0], key[1]) {
 			continue
 		}
 		head := r.transfers[0]
@@ -321,6 +359,11 @@ func (s *simulator) processDue() {
 	sys := s.alloc.System()
 	for {
 		progressed := false
+		// Failure and repair edges first: a completion due exactly at failure
+		// time loses the race (the work is lost, not finished).
+		if s.applyBoundaries() {
+			progressed = true
+		}
 		// Releases.
 		for k := range sys.Strings {
 			if s.rank[k] < 0 {
@@ -346,15 +389,18 @@ func (s *simulator) processDue() {
 				idx++
 			}
 		}
-		// Transfer completions.
+		// Transfer completions (a failed route completes nothing, even a
+		// zero-size transfer).
 		for key, r := range s.routes {
+			if !s.fail.routeUp(key[0], key[1]) {
+				continue
+			}
 			for len(r.transfers) > 0 && r.transfers[0].remainingMb <= workEps {
 				tr := r.transfers[0]
 				r.transfers = r.transfers[1:]
 				s.completeTransfer(tr)
 				progressed = true
 			}
-			_ = key
 		}
 		if !progressed {
 			break
@@ -432,9 +478,11 @@ func (s *simulator) completeJob(jb *job) {
 		s.enqueue(jb.k, jb.i+1, jb.q)
 		return
 	}
+	sizeMb := 8 * str.Apps[jb.i].OutputKB / 1000 * s.cfg.WorkloadScale
 	tr := &transfer{
 		k: jb.k, i: jb.i, q: jb.q,
-		remainingMb: 8 * str.Apps[jb.i].OutputKB / 1000 * s.cfg.WorkloadScale,
+		remainingMb: sizeMb,
+		sizeMb:      sizeMb,
 		priority:    s.rank[jb.k],
 		queuedAt:    s.now,
 	}
@@ -483,6 +531,7 @@ func (s *simulator) completeDataSet(k, q int) {
 		s.latViol[k]++
 	}
 	s.completed[k]++
+	s.noteCompleted(k, q)
 }
 
 // recomputeRates reassigns CPU rates on every machine: jobs in priority order
@@ -492,6 +541,9 @@ func (s *simulator) recomputeRates() {
 		jobs := s.mach[j].jobs
 		sort.Slice(jobs, func(a, b int) bool { return jobs[a].priority < jobs[b].priority })
 		capacity := 1.0
+		if s.fail.machDown[j] {
+			capacity = 0 // a failed machine executes nothing
+		}
 		for _, jb := range jobs {
 			r := jb.rateCap
 			if r > capacity {
@@ -532,6 +584,8 @@ func (s *simulator) result() *Result {
 		}
 		out.Strings[k] = st
 		out.QoSViolations += st.ThroughputViolations + st.LatencyViolations
+		out.Unfinished += s.relIdx[k] - s.completed[k]
 	}
+	out.Failures = append([]FailureStats(nil), s.fail.fstats...)
 	return out
 }

@@ -236,6 +236,48 @@ func BenchmarkUpperBoundFull(b *testing.B) {
 	}
 }
 
+// BenchmarkPSG times the full PSG search (4 trials, reduced GENITOR budget)
+// at paper scale for different worker counts. Results are bit-identical across
+// the sub-benchmarks — only wall clock changes — so worth/op doubles as a
+// determinism check. On a multi-core host the workersN variants spread the
+// trials over N goroutines; worker counts beyond the trial count add batched
+// candidate evaluation inside each trial.
+func BenchmarkPSG(b *testing.B) {
+	sys := workload.MustGenerate(workload.ScenarioConfig(workload.HighlyLoaded), 1)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			total := 0.0
+			for i := 0; i < b.N; i++ {
+				cfg := benchPSG(int64(i))
+				cfg.Trials = 4
+				cfg.Workers = workers
+				total += heuristics.PSG(sys, cfg).Metric.Worth
+			}
+			b.ReportMetric(total/float64(b.N), "worth/op")
+		})
+	}
+}
+
+// BenchmarkMapSequence contrasts the fresh-allocation decode path with the
+// scratch-reusing MapSequenceInto the PSG evaluator lanes run on: the delta is
+// the per-decode cost of rebuilding the O(M^2) allocation matrices.
+func BenchmarkMapSequence(b *testing.B) {
+	sys := workload.MustGenerate(workload.ScenarioConfig(workload.HighlyLoaded), 1)
+	order := heuristics.MWFOrder(sys)
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			heuristics.MapSequence(sys, order)
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		scratch := feasibility.New(sys)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			heuristics.MapSequenceInto(scratch, order)
+		}
+	})
+}
+
 // --- micro-benchmarks of the core building blocks ---
 
 func BenchmarkIMRMapString(b *testing.B) {

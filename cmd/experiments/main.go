@@ -34,15 +34,16 @@ func main() {
 		psgStall  = flag.Int("psg-stall", 300, "GENITOR elite-stall limit (paper: 300)")
 		psgTrials = flag.Int("psg-trials", 2, "independent GENITOR trials, best-of (paper: 4)")
 		psgBias   = flag.Float64("psg-bias", 1.6, "GENITOR selection bias (paper: 1.6)")
+		workers   = flag.Int("workers", 0, "worker goroutines for the PSG search (0 = all cores); results are identical for any value")
 		skipUB    = flag.Bool("skip-ub", false, "skip the LP upper-bound series")
 		highHeavy = flag.Bool("high-heavy", false, "use the high-worth-heavy mix {0.1,0.2,0.7} instead of uniform")
 		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
 	)
 	flag.Parse()
-	run(*exp, *runs, *seed, *strings_, *psgIters, *psgPop, *psgStall, *psgTrials, *psgBias, *skipUB, *highHeavy, *verbose)
+	run(*exp, *runs, *seed, *strings_, *psgIters, *psgPop, *psgStall, *psgTrials, *workers, *psgBias, *skipUB, *highHeavy, *verbose)
 }
 
-func run(exp string, runs int, seed int64, stringsOverride, psgIters, psgPop, psgStall, psgTrials int, psgBias float64, skipUB, highHeavy, verbose bool) {
+func run(exp string, runs int, seed int64, stringsOverride, psgIters, psgPop, psgStall, psgTrials, workers int, psgBias float64, skipUB, highHeavy, verbose bool) {
 	psg := heuristics.DefaultPSGConfig()
 	psg.MaxIterations = psgIters
 	psg.PopulationSize = psgPop
@@ -54,6 +55,7 @@ func run(exp string, runs int, seed int64, stringsOverride, psgIters, psgPop, ps
 		Seed:    seed,
 		Strings: stringsOverride,
 		SkipUB:  skipUB,
+		Workers: workers,
 		PSG:     psg,
 	}
 	if highHeavy {

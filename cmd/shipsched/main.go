@@ -52,6 +52,7 @@ func main() {
 		heuristic = flag.String("heuristic", "SeededPSG", "heuristic: MWF | TF | PSG | SeededPSG | SSG | ClassedPSG")
 		psgIters  = flag.Int("psg-iters", 1000, "GENITOR iteration budget (paper: 5000)")
 		psgTrials = flag.Int("psg-trials", 2, "GENITOR trials, best-of (paper: 4)")
+		workers   = flag.Int("workers", 0, "worker goroutines for the PSG search (0 = all cores); results are identical for any value")
 		simulate  = flag.Bool("simulate", false, "replay the allocation in the discrete-event simulator")
 		scale     = flag.Float64("scale", 1.0, "workload scale for -simulate (1 = planned workload)")
 		periods   = flag.Int("periods", 10, "data sets per string for -simulate")
@@ -72,6 +73,7 @@ func main() {
 	cfg.MaxIterations = *psgIters
 	cfg.Trials = *psgTrials
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	start := time.Now()
 	r := heuristics.Run(*heuristic, sys, cfg)

@@ -42,6 +42,11 @@ type Options struct {
 	// Strings overrides the scenario's string count when nonzero (reduced-
 	// scale runs).
 	Strings int
+	// Workers bounds heuristic-internal parallelism (concurrent PSG trials
+	// and batched GENITOR candidate evaluation) when nonzero; zero leaves
+	// PSG.Workers as configured (itself defaulting to all cores). Every
+	// experiment is deterministic for any worker count.
+	Workers int
 	// WorthWeights overrides the worth mixing proportions when non-nil.
 	WorthWeights []float64
 	// SkipUB drops the LP upper-bound series.
@@ -56,6 +61,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PSG.PopulationSize == 0 {
 		o.PSG = heuristics.DefaultPSGConfig()
+	}
+	if o.Workers != 0 {
+		o.PSG.Workers = o.Workers
 	}
 	return o
 }

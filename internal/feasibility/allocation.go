@@ -247,6 +247,30 @@ func (a *Allocation) RouteUtilizationIf(j1, j2, k, i int) float64 {
 	return a.routeUtil[j1][j2] + a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
 }
 
+// Reset clears every assignment in place, returning the allocation to the
+// state New produces without reallocating the O(M^2) route matrices and
+// rosters. Heuristics that decode thousands of permutations keep one scratch
+// allocation per worker and Reset it between decodes instead of rebuilding.
+func (a *Allocation) Reset() {
+	for k := range a.machineOf {
+		mo := a.machineOf[k]
+		for i := range mo {
+			mo[i] = Unassigned
+		}
+		a.nAssigned[k] = 0
+		a.tightness[k] = math.NaN()
+	}
+	for j := range a.machineUtil {
+		a.machineUtil[j] = 0
+		a.perMachine[j] = a.perMachine[j][:0]
+		ru, pr := a.routeUtil[j], a.perRoute[j]
+		for j2 := range ru {
+			ru[j2] = 0
+			pr[j2] = pr[j2][:0]
+		}
+	}
+}
+
 // Clone returns an independent deep copy of the allocation sharing the same
 // (immutable) system.
 func (a *Allocation) Clone() *Allocation {

@@ -96,10 +96,17 @@ func (a *Allocation) EstimatedTranTime(k, i int) float64 {
 	return t + s.Period*wait
 }
 
+// Violation kinds: the three ways a string can fail equation (1).
+const (
+	KindThroughputComp = "throughput-comp"
+	KindThroughputTran = "throughput-tran"
+	KindLatency        = "latency"
+)
+
 // Violation describes why a string fails its QoS constraints (equation (1)).
 type Violation struct {
 	StringID int
-	// Kind is "throughput-comp", "throughput-tran", or "latency".
+	// Kind is KindThroughputComp, KindThroughputTran, or KindLatency.
 	Kind string
 	// App is the offending application index for throughput violations
 	// (the producing application for transfer violations); -1 for latency.
@@ -110,12 +117,14 @@ type Violation struct {
 
 func (v Violation) Error() string {
 	switch v.Kind {
-	case "latency":
+	case KindLatency:
 		return fmt.Sprintf("string %d: end-to-end latency %.4gs exceeds Lmax %.4gs", v.StringID, v.Value, v.Bound)
-	case "throughput-tran":
+	case KindThroughputTran:
 		return fmt.Sprintf("string %d: transfer after application %d takes %.4gs, exceeds period %.4gs", v.StringID, v.App, v.Value, v.Bound)
-	default:
+	case KindThroughputComp:
 		return fmt.Sprintf("string %d: application %d computation %.4gs exceeds period %.4gs", v.StringID, v.App, v.Value, v.Bound)
+	default:
+		return fmt.Sprintf("string %d: unknown violation kind %q (app %d, value %.4g, bound %.4g)", v.StringID, v.Kind, v.App, v.Value, v.Bound)
 	}
 }
 
@@ -142,19 +151,19 @@ func (a *Allocation) CheckString(k int) *Violation {
 	for i := 0; i < n; i++ {
 		tc := a.EstimatedCompTime(k, i)
 		if tc > s.Period*(1+utilEps) {
-			return &Violation{StringID: k, Kind: "throughput-comp", App: i, Value: tc, Bound: s.Period}
+			return &Violation{StringID: k, Kind: KindThroughputComp, App: i, Value: tc, Bound: s.Period}
 		}
 		latency += tc
 		if i < n-1 {
 			tt := a.EstimatedTranTime(k, i)
 			if tt > s.Period*(1+utilEps) {
-				return &Violation{StringID: k, Kind: "throughput-tran", App: i, Value: tt, Bound: s.Period}
+				return &Violation{StringID: k, Kind: KindThroughputTran, App: i, Value: tt, Bound: s.Period}
 			}
 			latency += tt
 		}
 	}
 	if latency > s.MaxLatency*(1+utilEps) {
-		return &Violation{StringID: k, Kind: "latency", App: -1, Value: latency, Bound: s.MaxLatency}
+		return &Violation{StringID: k, Kind: KindLatency, App: -1, Value: latency, Bound: s.MaxLatency}
 	}
 	return nil
 }

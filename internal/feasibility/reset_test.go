@@ -1,0 +1,112 @@
+package feasibility
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestResetMatchesFresh: a Reset allocation must be indistinguishable from a
+// freshly built one — same invariants, same analysis results after identical
+// reassignment. This is what lets the PSG decoder reuse one scratch allocation
+// across thousands of decodes.
+func TestResetMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		sys := randomSystem(rng, 2+rng.Intn(4), 2+rng.Intn(5), 4)
+		scratch := New(sys)
+		// Dirty the scratch with a random partial assignment.
+		for k := range sys.Strings {
+			for i := range sys.Strings[k].Apps {
+				if rng.Float64() < 0.7 {
+					scratch.Assign(k, i, rng.Intn(sys.Machines))
+				}
+			}
+		}
+		scratch.Reset()
+		if err := scratch.checkInvariants(); err != nil {
+			t.Fatalf("trial %d: invariants broken after Reset: %v", trial, err)
+		}
+		if scratch.NumComplete() != 0 || scratch.Slackness() != 1 {
+			t.Fatalf("trial %d: Reset left state behind: %d complete, slackness %v",
+				trial, scratch.NumComplete(), scratch.Slackness())
+		}
+		// Replay one assignment pattern into the reset scratch and a fresh
+		// allocation; every observable must agree.
+		fresh := New(sys)
+		for k := range sys.Strings {
+			for i := range sys.Strings[k].Apps {
+				m := rng.Intn(sys.Machines)
+				scratch.Assign(k, i, m)
+				fresh.Assign(k, i, m)
+			}
+		}
+		if err := scratch.checkInvariants(); err != nil {
+			t.Fatalf("trial %d: invariants broken after reuse: %v", trial, err)
+		}
+		if scratch.Metric() != fresh.Metric() {
+			t.Fatalf("trial %d: reused metric %+v, fresh %+v", trial, scratch.Metric(), fresh.Metric())
+		}
+		if scratch.TwoStageFeasible() != fresh.TwoStageFeasible() {
+			t.Fatalf("trial %d: feasibility diverged after Reset", trial)
+		}
+		for j := 0; j < sys.Machines; j++ {
+			if scratch.MachineUtilization(j) != fresh.MachineUtilization(j) {
+				t.Fatalf("trial %d: machine %d utilization diverged", trial, j)
+			}
+			for j2 := 0; j2 < sys.Machines; j2++ {
+				if scratch.RouteUtilization(j, j2) != fresh.RouteUtilization(j, j2) {
+					t.Fatalf("trial %d: route %d->%d utilization diverged", trial, j, j2)
+				}
+			}
+		}
+	}
+}
+
+// TestViolationErrorKinds: Error() must render a kind-specific message for
+// each of the three defined kinds and must not misreport an unknown kind as a
+// throughput violation (the old switch fell through to throughput-comp).
+func TestViolationErrorKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Violation
+		want []string // substrings that must appear
+		ban  string   // substring that must not appear
+	}{
+		{
+			name: "latency",
+			v:    Violation{StringID: 3, Kind: KindLatency, App: -1, Value: 7.5, Bound: 5},
+			want: []string{"string 3", "latency", "7.5", "5"},
+			ban:  "period",
+		},
+		{
+			name: "throughput-comp",
+			v:    Violation{StringID: 1, Kind: KindThroughputComp, App: 2, Value: 9, Bound: 4},
+			want: []string{"string 1", "application 2", "computation", "period"},
+			ban:  "transfer",
+		},
+		{
+			name: "throughput-tran",
+			v:    Violation{StringID: 0, Kind: KindThroughputTran, App: 1, Value: 6, Bound: 2},
+			want: []string{"string 0", "application 1", "transfer", "period"},
+			ban:  "computation",
+		},
+		{
+			name: "unknown",
+			v:    Violation{StringID: 9, Kind: "mystery", App: 0, Value: 1, Bound: 2},
+			want: []string{"string 9", "unknown", "mystery"},
+			ban:  "computation",
+		},
+	}
+	for _, c := range cases {
+		msg := c.v.Error()
+		for _, w := range c.want {
+			if !strings.Contains(msg, w) {
+				t.Errorf("%s: %q missing %q", c.name, msg, w)
+			}
+		}
+		if c.ban != "" && strings.Contains(msg, c.ban) {
+			t.Errorf("%s: %q must not mention %q", c.name, msg, c.ban)
+		}
+	}
+}

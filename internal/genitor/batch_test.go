@@ -1,0 +1,111 @@
+package genitor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchLanesMatchSerial: the engine's contract is that results are
+// bit-identical for any number of evaluator lanes. Run the same seeded search
+// with 1, 2, 3, and 5 lanes and compare elites, fitnesses, and stats.
+func TestBatchLanesMatchSerial(t *testing.T) {
+	run := func(laneCount int) ([]int, Fitness, Stats) {
+		lanes := make([]Evaluator, laneCount)
+		for i := range lanes {
+			lanes[i] = func(p []int) Fitness { return Fitness{Primary: sortedness(p)} }
+		}
+		e, err := NewBatch(Config{PopulationSize: 25, Bias: 1.6, MaxIterations: 300, StallLimit: 120, Seed: 42},
+			9, [][]int{{8, 7, 6, 5, 4, 3, 2, 1, 0}}, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run()
+	}
+	refBest, refFit, refStats := run(1)
+	for _, laneCount := range []int{2, 3, 5} {
+		best, fit, stats := run(laneCount)
+		if fit != refFit {
+			t.Errorf("%d lanes: fitness %v, serial %v", laneCount, fit, refFit)
+		}
+		if stats != refStats {
+			t.Errorf("%d lanes: stats %+v, serial %+v", laneCount, stats, refStats)
+		}
+		for i := range refBest {
+			if best[i] != refBest[i] {
+				t.Fatalf("%d lanes: elite %v, serial %v", laneCount, best, refBest)
+			}
+		}
+	}
+}
+
+// TestBatchEvaluationCounting: evaluation stats must count every candidate
+// exactly once regardless of lane count (initial population + 3 per step).
+func TestBatchEvaluationCounting(t *testing.T) {
+	var calls [2]int
+	lanes := []Evaluator{
+		func(p []int) Fitness { calls[0]++; return Fitness{Primary: sortedness(p)} },
+		func(p []int) Fitness { calls[1]++; return Fitness{Primary: sortedness(p)} },
+	}
+	e, err := NewBatch(Config{PopulationSize: 10, Bias: 1.6, MaxIterations: 20, StallLimit: 20, Seed: 5},
+		6, nil, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, stats := e.Run()
+	total := calls[0] + calls[1]
+	if stats.Evaluations != total {
+		t.Errorf("stats report %d evaluations, lanes served %d", stats.Evaluations, total)
+	}
+	want := 10 + 3*stats.Iterations
+	if total != want {
+		t.Errorf("lanes served %d evaluations, want %d (population 10 + 3 per step)", total, want)
+	}
+}
+
+func TestNewBatchRejectsBadLanes(t *testing.T) {
+	eval := func(p []int) Fitness { return Fitness{Primary: sortedness(p)} }
+	if _, err := NewBatch(DefaultConfig(), 4, nil, nil); err == nil {
+		t.Error("empty lane list accepted")
+	}
+	if _, err := NewBatch(DefaultConfig(), 4, nil, []Evaluator{eval, nil}); err == nil {
+		t.Error("nil lane accepted")
+	}
+}
+
+// FuzzOperatorsPreservePermutations: crossover and swap mutation must emit
+// valid permutations for every cut point and gene pair the RNG can choose —
+// the decoder relies on this to skip revalidation on the hot path.
+func FuzzOperatorsPreservePermutations(f *testing.F) {
+	f.Add(int64(1), uint8(8))
+	f.Add(int64(99), uint8(1))
+	f.Add(int64(-7), uint8(2))
+	f.Add(int64(1234567), uint8(40))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8) {
+		n := int(nRaw)%64 + 1
+		calls := 0
+		e, err := New(Config{PopulationSize: 8, Bias: 1.6, MaxIterations: 1, StallLimit: 1, Seed: seed},
+			n, nil, countingEval(&calls, sortedness))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5dee7))
+		for trial := 0; trial < 20; trial++ {
+			a := e.pop[rng.Intn(len(e.pop))].perm
+			b := e.pop[rng.Intn(len(e.pop))].perm
+			c1, c2 := e.crossover(a, b)
+			if !IsPermutation(c1, n) || !IsPermutation(c2, n) {
+				t.Fatalf("n=%d: crossover broke permutations: %v %v", n, c1, c2)
+			}
+			if !IsPermutation(a, n) || !IsPermutation(b, n) {
+				t.Fatalf("n=%d: crossover corrupted a parent: %v %v", n, a, b)
+			}
+			m := e.mutate(a)
+			if !IsPermutation(m, n) {
+				t.Fatalf("n=%d: mutation broke permutation: %v", n, m)
+			}
+			if !IsPermutation(a, n) {
+				t.Fatalf("n=%d: mutation corrupted the parent: %v", n, a)
+			}
+		}
+	})
+}

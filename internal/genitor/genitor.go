@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Fitness is a two-component lexicographic fitness: Primary dominates, and
@@ -41,7 +42,9 @@ func (f Fitness) Better(g Fitness) bool {
 }
 
 // Evaluator maps a permutation chromosome to its fitness. The slice must not
-// be retained or modified.
+// be retained or modified, and the fitness must be a pure function of the
+// permutation: the engine may evaluate candidates concurrently (see NewBatch)
+// and relies on every lane agreeing on the value.
 type Evaluator func(perm []int) Fitness
 
 // Config parameterizes a GENITOR run. The zero value is not usable; start
@@ -75,8 +78,11 @@ func (c Config) Validate() error {
 	if c.Bias < 1 || c.Bias > 2 {
 		return fmt.Errorf("genitor: bias %v, want in [1, 2]", c.Bias)
 	}
-	if c.MaxIterations < 0 || c.StallLimit <= 0 {
-		return fmt.Errorf("genitor: iterations %d / stall %d, want >= 0 / > 0", c.MaxIterations, c.StallLimit)
+	if c.MaxIterations < 0 {
+		return fmt.Errorf("genitor: max iterations %d, want >= 0", c.MaxIterations)
+	}
+	if c.StallLimit <= 0 {
+		return fmt.Errorf("genitor: stall limit %d, want > 0", c.StallLimit)
 	}
 	return nil
 }
@@ -100,12 +106,13 @@ type member struct {
 	fitness Fitness
 }
 
-// Engine is a running GENITOR population. Create with New, then call Run (or
-// Step repeatedly for fine-grained control).
+// Engine is a running GENITOR population. Create with New (serial evaluation)
+// or NewBatch (concurrent candidate evaluation across evaluator lanes), then
+// call Run (or Step repeatedly for fine-grained control).
 type Engine struct {
 	cfg   Config
-	n     int // genes per chromosome
-	eval  Evaluator
+	n     int         // genes per chromosome
+	lanes []Evaluator // one per concurrent evaluation lane; lanes[0] is canonical
 	rng   *rand.Rand
 	pop   []member // sorted best-first
 	stats Stats
@@ -116,6 +123,20 @@ type Engine struct {
 // copied into the initial population (panicking on malformed seeds); the rest
 // of the population is filled with uniformly random permutations.
 func New(cfg Config, n int, seeds [][]int, eval Evaluator) (*Engine, error) {
+	return NewBatch(cfg, n, seeds, []Evaluator{eval})
+}
+
+// NewBatch builds an engine whose fitness evaluations are spread across the
+// given evaluator lanes: the initial population, and the three candidates of
+// every Step (two crossover offspring plus the mutant), are evaluated
+// concurrently, one goroutine per lane. Each lane is only ever called from a
+// single goroutine at a time, so a lane may own mutable scratch state; state
+// shared *between* lanes must be synchronized by the caller. Because
+// evaluation is required to be a pure function of the chromosome and the
+// engine consumes randomness and inserts candidates in a fixed order, the
+// results are bit-identical for any number of lanes. With one lane the engine
+// is fully serial and NewBatch is exactly New.
+func NewBatch(cfg Config, n int, seeds [][]int, lanes []Evaluator) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -125,12 +146,20 @@ func New(cfg Config, n int, seeds [][]int, eval Evaluator) (*Engine, error) {
 	if len(seeds) > cfg.PopulationSize {
 		return nil, fmt.Errorf("genitor: %d seeds exceed population size %d", len(seeds), cfg.PopulationSize)
 	}
+	if len(lanes) < 1 {
+		return nil, fmt.Errorf("genitor: no evaluator lanes")
+	}
+	for i, l := range lanes {
+		if l == nil {
+			return nil, fmt.Errorf("genitor: evaluator lane %d is nil", i)
+		}
+	}
 	e := &Engine{
-		cfg:  cfg,
-		n:    n,
-		eval: eval,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		pop:  make([]member, 0, cfg.PopulationSize),
+		cfg:   cfg,
+		n:     n,
+		lanes: lanes,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		pop:   make([]member, 0, cfg.PopulationSize),
 	}
 	for _, s := range seeds {
 		if !IsPermutation(s, n) {
@@ -141,16 +170,45 @@ func New(cfg Config, n int, seeds [][]int, eval Evaluator) (*Engine, error) {
 	for len(e.pop) < cfg.PopulationSize {
 		e.pop = append(e.pop, member{perm: e.rng.Perm(n)})
 	}
+	perms := make([][]int, len(e.pop))
 	for i := range e.pop {
-		e.pop[i].fitness = e.evaluate(e.pop[i].perm)
+		perms[i] = e.pop[i].perm
+	}
+	for i, fit := range e.evalAll(perms) {
+		e.pop[i].fitness = fit
 	}
 	sort.SliceStable(e.pop, func(a, b int) bool { return e.pop[a].fitness.Better(e.pop[b].fitness) })
 	return e, nil
 }
 
-func (e *Engine) evaluate(perm []int) Fitness {
-	e.stats.Evaluations++
-	return e.eval(perm)
+// evalAll evaluates the chromosomes, spreading them across the evaluator
+// lanes in a fixed stride so each lane serves one goroutine; the result order
+// matches the input order regardless of lane count.
+func (e *Engine) evalAll(perms [][]int) []Fitness {
+	e.stats.Evaluations += len(perms)
+	out := make([]Fitness, len(perms))
+	g := len(e.lanes)
+	if g > len(perms) {
+		g = len(perms)
+	}
+	if g <= 1 {
+		for i, p := range perms {
+			out[i] = e.lanes[0](p)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	wg.Add(g)
+	for lane := 0; lane < g; lane++ {
+		go func(lane int) {
+			defer wg.Done()
+			for i := lane; i < len(perms); i += g {
+				out[i] = e.lanes[lane](perms[i])
+			}
+		}(lane)
+	}
+	wg.Wait()
+	return out
 }
 
 // Best returns a copy of the elite chromosome and its fitness.
@@ -255,21 +313,26 @@ func (e *Engine) converged() bool {
 	return true
 }
 
-// Step performs one GENITOR iteration (one crossover producing two offspring,
-// then one mutation producing one) and reports whether the elite changed.
+// Step performs one GENITOR iteration: three parents are drawn by rank-bias
+// selection, producing two crossover offspring and one mutant; the three
+// candidates are evaluated as a batch (concurrently when the engine has
+// multiple lanes) and then offered for insertion in a fixed order. Selecting
+// the mutation parent before the offspring are inserted is what makes the
+// batch well-defined — all candidates derive from the same population
+// snapshot — and keeps results independent of the lane count. Reports whether
+// the elite changed.
 func (e *Engine) Step() bool {
-	eliteChanged := false
 	p1 := e.selectRank()
 	p2 := e.selectRank()
 	c1, c2 := e.crossover(e.pop[p1].perm, e.pop[p2].perm)
-	for _, child := range [][]int{c1, c2} {
-		if e.tryInsert(child, e.evaluate(child)) {
+	m := e.mutate(e.pop[e.selectRank()].perm)
+	cands := [][]int{c1, c2, m}
+	fits := e.evalAll(cands)
+	eliteChanged := false
+	for i, cand := range cands {
+		if e.tryInsert(cand, fits[i]) {
 			eliteChanged = true
 		}
-	}
-	m := e.mutate(e.pop[e.selectRank()].perm)
-	if e.tryInsert(m, e.evaluate(m)) {
-		eliteChanged = true
 	}
 	e.stats.Iterations++
 	return eliteChanged

@@ -2,6 +2,7 @@ package genitor
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -23,22 +24,40 @@ func TestFitnessBetter(t *testing.T) {
 	}
 }
 
+// TestConfigValidate checks that each field failure produces its own error
+// naming the offending field: MaxIterations and StallLimit were historically
+// conflated into one message, which hid which knob was wrong.
 func TestConfigValidate(t *testing.T) {
 	good := DefaultConfig()
 	if err := good.Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)
 	}
-	bad := []Config{
-		{PopulationSize: 1, Bias: 1.5, MaxIterations: 10, StallLimit: 5},
-		{PopulationSize: 10, Bias: 0.5, MaxIterations: 10, StallLimit: 5},
-		{PopulationSize: 10, Bias: 2.5, MaxIterations: 10, StallLimit: 5},
-		{PopulationSize: 10, Bias: 1.5, MaxIterations: -1, StallLimit: 5},
-		{PopulationSize: 10, Bias: 1.5, MaxIterations: 10, StallLimit: 0},
+	cases := []struct {
+		cfg  Config
+		want string // substring the error must contain
+	}{
+		{Config{PopulationSize: 1, Bias: 1.5, MaxIterations: 10, StallLimit: 5}, "population size"},
+		{Config{PopulationSize: 10, Bias: 0.5, MaxIterations: 10, StallLimit: 5}, "bias"},
+		{Config{PopulationSize: 10, Bias: 2.5, MaxIterations: 10, StallLimit: 5}, "bias"},
+		{Config{PopulationSize: 10, Bias: 1.5, MaxIterations: -1, StallLimit: 5}, "max iterations"},
+		{Config{PopulationSize: 10, Bias: 1.5, MaxIterations: 10, StallLimit: 0}, "stall limit"},
+		{Config{PopulationSize: 10, Bias: 1.5, MaxIterations: 10, StallLimit: -3}, "stall limit"},
 	}
-	for i, c := range bad {
-		if err := c.Validate(); err == nil {
+	for i, c := range cases {
+		err := c.cfg.Validate()
+		if err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
+			continue
 		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: error %q does not name field %q", i, err, c.want)
+		}
+	}
+	// The two iteration-control fields must yield distinct diagnostics.
+	badIters := Config{PopulationSize: 10, Bias: 1.5, MaxIterations: -1, StallLimit: 5}.Validate()
+	badStall := Config{PopulationSize: 10, Bias: 1.5, MaxIterations: 10, StallLimit: 0}.Validate()
+	if badIters.Error() == badStall.Error() {
+		t.Errorf("MaxIterations and StallLimit failures share one error: %q", badIters)
 	}
 }
 

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"repro/internal/feasibility"
 	"repro/internal/genitor"
 	"repro/internal/model"
 )
@@ -22,10 +23,11 @@ import (
 // lexicographic order: wHigh*1e8 + wMed*1e4 + wLow. The encoding is exact for
 // the paper's scales (at most a few thousand strings of worth <= 100, so each
 // class term stays below its 1e4 radix and the total well below 2^53).
-func classKey(sys *model.System, mapped []bool) float64 {
+// mapped reports whether string k is part of the mapping.
+func classKey(sys *model.System, mapped func(k int) bool) float64 {
 	var high, med, low float64
-	for k, ok := range mapped {
-		if !ok {
+	for k := range sys.Strings {
+		if !mapped(k) {
 			continue
 		}
 		switch w := sys.Strings[k].Worth; {
@@ -45,8 +47,19 @@ func classKey(sys *model.System, mapped []bool) float64 {
 // secondary.
 func ClassedMetric(sys *model.System, r *Result) genitor.Fitness {
 	return genitor.Fitness{
-		Primary:   classKey(sys, r.Mapped),
+		Primary:   classKey(sys, func(k int) bool { return r.Mapped[k] }),
 		Secondary: r.Metric.Slackness,
+	}
+}
+
+// classedScore is the alternate-scheme scoreFunc over a decoded allocation:
+// exactly ClassedMetric, read off the allocation's Complete flags.
+func classedScore(sys *model.System) scoreFunc {
+	return func(a *feasibility.Allocation) genitor.Fitness {
+		return genitor.Fitness{
+			Primary:   classKey(sys, a.Complete),
+			Secondary: a.Slackness(),
+		}
 	}
 }
 
@@ -77,42 +90,13 @@ func ClassedOrder(sys *model.System) []int {
 }
 
 // ClassedPSG runs the permutation-space GENITOR search under the alternate
-// worth scheme: the same operators and stopping rules as PSG, but fitness
-// compares mapped worth class by class. The class-scheme ordering and the
-// plain MWF ordering seed the initial population.
+// worth scheme: the same operators, stopping rules, and parallel trial
+// machinery as PSG, but fitness compares mapped worth class by class. The
+// class-scheme ordering and the plain MWF ordering seed the initial
+// population.
 func ClassedPSG(sys *model.System, cfg PSGConfig) *Result {
-	if cfg.Trials < 1 {
-		cfg.Trials = 1
-	}
-	eval := func(perm []int) genitor.Fitness {
-		return ClassedMetric(sys, MapSequence(sys, perm))
-	}
 	seeds := [][]int{ClassedOrder(sys), MWFOrder(sys)}
-	var best *Result
-	var bestFit genitor.Fitness
-	totalEvals, totalIters := 0, 0
-	stopReason := ""
-	for trial := 0; trial < cfg.Trials; trial++ {
-		gcfg := cfg.Config
-		gcfg.Seed = cfg.Seed + int64(trial)*1000003
-		eng, err := genitor.New(gcfg, len(sys.Strings), seeds, eval)
-		if err != nil {
-			panic("heuristics: " + err.Error())
-		}
-		perm, fit, stats := eng.Run()
-		totalEvals += stats.Evaluations
-		totalIters += stats.Iterations
-		if best == nil || fit.Better(bestFit) {
-			best = MapSequence(sys, perm)
-			bestFit = fit
-			stopReason = stats.StopReason
-		}
-	}
-	best.Name = "ClassedPSG"
-	best.Evaluations = totalEvals
-	best.Iterations = totalIters
-	best.StopReason = stopReason
-	return best
+	return psgRun(sys, cfg, seeds, "ClassedPSG", classedScore(sys))
 }
 
 // MappedWorthByClass reports the worth mapped per class (high, medium, low),

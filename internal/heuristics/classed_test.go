@@ -16,10 +16,13 @@ func TestClassKeyLexicographic(t *testing.T) {
 		sys.AddString(model.AppString{Worth: w, Period: 50, MaxLatency: 500,
 			Apps: []model.Application{model.UniformApp(2, 1, 0.2, 10)}})
 	}
+	key := func(mapped []bool) float64 {
+		return classKey(sys, func(k int) bool { return mapped[k] })
+	}
 	// One high string beats all mediums and lows together.
 	onlyHigh := []bool{true, false, false, false, false, false}
 	everythingElse := []bool{false, true, true, true, true, true}
-	if classKey(sys, onlyHigh) <= classKey(sys, everythingElse) {
+	if key(onlyHigh) <= key(everythingElse) {
 		t.Error("one high-worth string must outrank all medium/low strings in the alternate scheme")
 	}
 	// Under the standard metric the comparison flips (30+2 > 100? no - pick
@@ -27,11 +30,11 @@ func TestClassKeyLexicographic(t *testing.T) {
 	// within a class instead.
 	oneMed := []bool{false, true, false, false, false, false}
 	twoMed := []bool{false, true, true, false, false, false}
-	if classKey(sys, twoMed) <= classKey(sys, oneMed) {
+	if key(twoMed) <= key(oneMed) {
 		t.Error("more medium worth must increase the key when high class ties")
 	}
 	medBeatsLows := []bool{false, true, false, false, true, true}
-	if classKey(sys, medBeatsLows) <= classKey(sys, oneMed) {
+	if key(medBeatsLows) <= key(oneMed) {
 		t.Error("extra lows must increase the key when higher classes tie")
 	}
 }

@@ -1,0 +1,153 @@
+package heuristics
+
+import (
+	"sync"
+
+	"repro/internal/feasibility"
+	"repro/internal/genitor"
+	"repro/internal/model"
+)
+
+// This file is the evaluation engine behind the PSG variants: decoding a
+// permutation chromosome into a mapping is by far the dominant cost of a
+// GENITOR run (each decode runs the IMR plus the two-stage analysis for every
+// string of a feasible prefix), so the decoder avoids the two sources of
+// redundant work the naive path pays for:
+//
+//   - a fresh feasibility.Allocation per decode — replaced by a per-lane
+//     scratch allocation Reset in place, so the O(M^2) route matrices are
+//     allocated once per GENITOR trial instead of once per evaluation;
+//   - re-decoding chromosomes the search has already seen — replaced by a
+//     memo keyed on the consumed permutation prefix, which GENITOR hits more
+//     and more often as the population converges toward the elite.
+
+// scoreFunc reduces a decoded allocation to a GENITOR fitness. It must read
+// only the allocation (pure), since decodes may run on any evaluator lane.
+type scoreFunc func(a *feasibility.Allocation) genitor.Fitness
+
+// metricScore is the Section 4 two-component metric as a lexicographic
+// fitness: total mapped worth, then system slackness.
+func metricScore(a *feasibility.Allocation) genitor.Fitness {
+	m := a.Metric()
+	return genitor.Fitness{Primary: m.Worth, Secondary: m.Slackness}
+}
+
+// memoLimit bounds the decode memo; when full it is discarded wholesale. At
+// two bytes per gene a full memo of paper-scale chromosomes stays within a
+// few MB per trial.
+const memoLimit = 1 << 14
+
+// decodeMemo caches decoded fitnesses keyed on the *consumed* prefix of the
+// permutation: the feasibly mapped prefix plus the string whose addition
+// failed, or the whole permutation when every string mapped. Stop-on-failure
+// decoding never reads past that prefix, so every permutation sharing it
+// decodes to the same fitness. Keys are prefix-free — a permutation starting
+// with a stored prefix would itself have stopped there — so the first prefix
+// hit while scanning left to right is exact. Safe for concurrent use by the
+// evaluator lanes of one engine.
+type decodeMemo struct {
+	mu      sync.Mutex
+	entries map[string]genitor.Fitness
+}
+
+func newDecodeMemo() *decodeMemo {
+	return &decodeMemo{entries: make(map[string]genitor.Fitness)}
+}
+
+// find scans the encoded permutation's prefixes (shortest first) for a stored
+// terminal prefix. key holds two big-endian bytes per gene.
+func (m *decodeMemo) find(key []byte) (genitor.Fitness, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for l := 2; l <= len(key); l += 2 {
+		if fit, ok := m.entries[string(key[:l])]; ok {
+			return fit, true
+		}
+	}
+	return genitor.Fitness{}, false
+}
+
+func (m *decodeMemo) store(key []byte, fit genitor.Fitness) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.entries) >= memoLimit {
+		m.entries = make(map[string]genitor.Fitness)
+	}
+	m.entries[string(key)] = fit
+}
+
+// seqDecoder evaluates permutation chromosomes for one GENITOR lane. It owns
+// a scratch allocation reused across decodes and shares the decode memo with
+// the other lanes of its trial. A seqDecoder must only be used by one
+// goroutine at a time (the engine guarantees this per lane).
+type seqDecoder struct {
+	sys     *model.System
+	scratch *feasibility.Allocation
+	score   scoreFunc
+	memo    *decodeMemo
+	key     []byte // reusable 2-bytes-per-gene encoding buffer
+}
+
+// newDecoderBank builds the evaluator lanes for one GENITOR trial: each lane
+// gets its own scratch allocation, all lanes share one memo.
+func newDecoderBank(sys *model.System, score scoreFunc, lanes int) []genitor.Evaluator {
+	memo := newDecodeMemo()
+	evals := make([]genitor.Evaluator, lanes)
+	for i := range evals {
+		d := &seqDecoder{
+			sys:     sys,
+			scratch: feasibility.New(sys),
+			score:   score,
+			memo:    memo,
+			key:     make([]byte, 0, 2*len(sys.Strings)),
+		}
+		evals[i] = d.fitness
+	}
+	return evals
+}
+
+// fitness decodes the permutation with the stop-on-failure semantics of
+// MapSequence, consulting the memo first. GENITOR only ever hands it valid
+// permutations (crossover and mutation preserve the gene set), so unlike the
+// exported MapSequence it skips the permutation check on this hot path.
+func (d *seqDecoder) fitness(perm []int) genitor.Fitness {
+	d.key = d.key[:0]
+	for _, g := range perm {
+		d.key = append(d.key, byte(g>>8), byte(g))
+	}
+	if fit, ok := d.memo.find(d.key); ok {
+		return fit
+	}
+	consumed := decodeInto(d.scratch, perm)
+	fit := d.score(d.scratch)
+	d.memo.store(d.key[:2*consumed], fit)
+	return fit
+}
+
+// decodeInto applies the stop-on-failure sequential mapping to the scratch
+// allocation (Reset first) and returns how many order entries were consumed:
+// the feasibly mapped prefix plus the string that failed, if any. After the
+// call, exactly the feasibly mapped strings are Complete in the scratch.
+func decodeInto(a *feasibility.Allocation, order []int) int {
+	a.Reset()
+	for idx, k := range order {
+		MapStringIMR(a, k)
+		if !a.FeasibleAfterAdding(k) {
+			a.UnassignString(k)
+			return idx + 1
+		}
+	}
+	return len(order)
+}
+
+// MapSequenceInto is the allocation-reusing form of MapSequence: scratch is
+// Reset in place and the stop-on-failure decode applied to it, returning the
+// final two-component metric. Callers that evaluate many orders over one
+// system avoid the per-decode allocation rebuild this way; scratch must have
+// been created by feasibility.New over the same system. Like MapSequence it
+// panics if order is not a permutation of all string indices.
+func MapSequenceInto(scratch *feasibility.Allocation, order []int) feasibility.Metric {
+	validateOrder(len(scratch.System().Strings), order)
+	decodeInto(scratch, order)
+	return scratch.Metric()
+}

@@ -3,6 +3,7 @@ package heuristics
 import (
 	"repro/internal/genitor"
 	"repro/internal/model"
+	"repro/internal/pool"
 )
 
 // PSGConfig parameterizes the Permutation-Space GENITOR heuristic. Trials is
@@ -11,53 +12,82 @@ import (
 type PSGConfig struct {
 	genitor.Config
 	Trials int
+	// Workers bounds the OS-level parallelism of the search: independent
+	// trials run concurrently, and when workers outnumber trials the surplus
+	// is spent on batched candidate evaluation inside each trial (up to the
+	// three candidates a GENITOR step produces). Zero or negative means all
+	// available cores (pool.Workers). The result is bit-identical for every
+	// value: trials have independent seeded RNG streams, decoding is a pure
+	// function of the chromosome, and the best trial is chosen in trial
+	// order.
+	Workers int
 }
 
 // DefaultPSGConfig returns the paper's PSG parameters: population 250, bias
-// 1.6, 5,000 iterations, 300-iteration elite stall, four trials.
+// 1.6, 5,000 iterations, 300-iteration elite stall, four trials — spread over
+// all available cores.
 func DefaultPSGConfig() PSGConfig {
 	return PSGConfig{Config: genitor.DefaultConfig(), Trials: 4}
 }
 
-// decodeFitness evaluates a permutation chromosome with the two-component
-// metric of Section 4 as a lexicographic fitness.
-func decodeFitness(sys *model.System) genitor.Evaluator {
-	return func(perm []int) genitor.Fitness {
-		m := MapSequence(sys, perm).Metric
-		return genitor.Fitness{Primary: m.Worth, Secondary: m.Slackness}
+// lanesPerTrial splits the worker budget between trial-level parallelism and
+// in-trial batched evaluation: lanes beyond one only help once every trial
+// already has a worker, and more than three lanes are useless because a
+// GENITOR step evaluates at most three candidates.
+func lanesPerTrial(workers, trials int) int {
+	lanes := workers / trials
+	if lanes < 1 {
+		lanes = 1
 	}
+	if lanes > 3 {
+		lanes = 3
+	}
+	return lanes
 }
 
-// psgRun executes the GENITOR search over the permutation space with the
-// given seed chromosomes and returns the decoded best mapping.
-func psgRun(sys *model.System, cfg PSGConfig, seeds [][]int, name string) *Result {
+// psgRun executes cfg.Trials independent GENITOR searches over the
+// permutation space — concurrently, over cfg.Workers pool workers — with the
+// given seed chromosomes and per-allocation scoring function, and returns the
+// decoded best mapping. Each trial derives its RNG stream from cfg.Seed and
+// the trial index alone and decoding is pure, so the outcome is identical to
+// a serial run for any worker count.
+func psgRun(sys *model.System, cfg PSGConfig, seeds [][]int, name string, score scoreFunc) *Result {
 	if cfg.Trials < 1 {
 		cfg.Trials = 1
 	}
-	var best *Result
-	totalEvals, totalIters := 0, 0
-	stopReason := ""
-	for trial := 0; trial < cfg.Trials; trial++ {
+	workers := pool.Workers(cfg.Workers)
+	lanes := lanesPerTrial(workers, cfg.Trials)
+	type trialOut struct {
+		perm  []int
+		fit   genitor.Fitness
+		stats genitor.Stats
+	}
+	outs := make([]trialOut, cfg.Trials)
+	pool.Map(workers, cfg.Trials, func(trial int) {
 		gcfg := cfg.Config
 		gcfg.Seed = cfg.Seed + int64(trial)*1000003
-		eng, err := genitor.New(gcfg, len(sys.Strings), seeds, decodeFitness(sys))
+		eng, err := genitor.NewBatch(gcfg, len(sys.Strings), seeds, newDecoderBank(sys, score, lanes))
 		if err != nil {
 			panic("heuristics: " + err.Error()) // configuration bug, not input data
 		}
-		perm, _, stats := eng.Run()
-		r := MapSequence(sys, perm)
-		totalEvals += stats.Evaluations
-		totalIters += stats.Iterations
-		if best == nil || r.Metric.Better(best.Metric) {
-			best = r
-			stopReason = stats.StopReason
+		perm, fit, stats := eng.Run()
+		outs[trial] = trialOut{perm: perm, fit: fit, stats: stats}
+	})
+	best := 0
+	totalEvals, totalIters := 0, 0
+	for trial, out := range outs {
+		totalEvals += out.stats.Evaluations
+		totalIters += out.stats.Iterations
+		if trial > 0 && out.fit.Better(outs[best].fit) {
+			best = trial
 		}
 	}
-	best.Name = name
-	best.Evaluations = totalEvals
-	best.Iterations = totalIters
-	best.StopReason = stopReason
-	return best
+	r := MapSequence(sys, outs[best].perm)
+	r.Name = name
+	r.Evaluations = totalEvals
+	r.Iterations = totalIters
+	r.StopReason = outs[best].stats.StopReason
+	return r
 }
 
 // PSG runs the Permutation-Space GENITOR-based heuristic: GENITOR search over
@@ -65,14 +95,14 @@ func psgRun(sys *model.System, cfg PSGConfig, seeds [][]int, name string) *Resul
 // with fitness given by the two-component performance metric. The initial
 // population is entirely random.
 func PSG(sys *model.System, cfg PSGConfig) *Result {
-	return psgRun(sys, cfg, nil, "PSG")
+	return psgRun(sys, cfg, nil, "PSG", metricScore)
 }
 
 // SeededPSG runs PSG with the MWF and TF orderings included in the initial
 // population; all other operations and stopping conditions are identical.
 func SeededPSG(sys *model.System, cfg PSGConfig) *Result {
 	seeds := [][]int{MWFOrder(sys), TFOrder(sys)}
-	return psgRun(sys, cfg, seeds, "SeededPSG")
+	return psgRun(sys, cfg, seeds, "SeededPSG", metricScore)
 }
 
 // Names lists the paper's four heuristics, in the order the figures report

@@ -1,9 +1,11 @@
 package heuristics
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/feasibility"
+	"repro/internal/genitor"
 	"repro/internal/model"
 )
 
@@ -39,7 +41,13 @@ type Result struct {
 // semantics of Section 5, the first string whose addition makes the
 // intermediate mapping infeasible is rolled back and the mapping process
 // terminates, so only a prefix of the order is mapped.
+//
+// The order must be a permutation of all string indices; MapSequence panics
+// otherwise. A repeated index would re-run the IMR over an already-assigned
+// string and corrupt the utilization bookkeeping, and an out-of-range index
+// has no string to map — both are caller bugs, never valid data.
 func MapSequence(sys *model.System, order []int) *Result {
+	validateOrder(len(sys.Strings), order)
 	a := feasibility.New(sys)
 	mapped := make([]bool, len(sys.Strings))
 	numMapped := 0
@@ -67,8 +75,10 @@ func MapSequence(sys *model.System, order []int) *Result {
 // mapping infeasible is rolled back and *skipped*, and mapping continues with
 // the rest of the order. The paper's heuristics terminate at the first
 // failure; the TerminationStudy ablation (DESIGN.md E11) quantifies how much
-// worth that sacrifices.
+// worth that sacrifices. Like MapSequence, it panics unless order is a
+// permutation of all string indices.
 func MapSequenceSkip(sys *model.System, order []int) *Result {
+	validateOrder(len(sys.Strings), order)
 	a := feasibility.New(sys)
 	mapped := make([]bool, len(sys.Strings))
 	numMapped := 0
@@ -128,6 +138,15 @@ func TF(sys *model.System) *Result {
 	r := MapSequence(sys, TFOrder(sys))
 	r.Name = "TF"
 	return r
+}
+
+// validateOrder panics unless order is a permutation of 0..n-1: duplicate or
+// out-of-range string indices would silently corrupt the sequential mapper's
+// incremental bookkeeping, so they are rejected up front.
+func validateOrder(n int, order []int) {
+	if !genitor.IsPermutation(order, n) {
+		panic(fmt.Sprintf("heuristics: order %v is not a permutation of %d string indices", order, n))
+	}
 }
 
 func identity(n int) []int {

@@ -1,0 +1,64 @@
+// External test package: these tests compare pooled allocation against the
+// flat heuristics, and the heuristics package now builds on pool's worker
+// primitives — an internal test here would be an import cycle.
+package pool_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/pool"
+	"repro/internal/workload"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestSingletonEquivalence: with one machine per pool, pooled MWF must equal
+// flat MWF exactly — the paper's stated assumption.
+func TestSingletonEquivalence(t *testing.T) {
+	cfg := workload.ScenarioConfig(workload.LightlyLoaded)
+	cfg.Strings = 12
+	for seed := int64(1); seed <= 5; seed++ {
+		sys := workload.MustGenerate(cfg, seed)
+		flat := heuristics.MWF(sys)
+		pooled, err := pool.MapSequencePooled(sys, pool.Singletons(sys.Machines), heuristics.MWFOrder(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pooled.NumMapped != flat.NumMapped {
+			t.Fatalf("seed %d: pooled mapped %d, flat %d", seed, pooled.NumMapped, flat.NumMapped)
+		}
+		if !approxEq(pooled.Metric.Worth, flat.Metric.Worth, 1e-9) {
+			t.Fatalf("seed %d: pooled worth %v, flat %v", seed, pooled.Metric.Worth, flat.Metric.Worth)
+		}
+	}
+}
+
+// TestPoolingCoarsensDecisions: with multi-machine pools the allocator sees
+// only aggregate member costs, so on a contended workload the pooled mapping
+// generally differs from — and does not beat — the flat mapping.
+func TestPoolingCoarsensDecisions(t *testing.T) {
+	cfg := workload.ScenarioConfig(workload.HighlyLoaded)
+	cfg.Strings = 60
+	worse, trials := 0, 0
+	for seed := int64(1); seed <= 6; seed++ {
+		sys := workload.MustGenerate(cfg, seed)
+		flat := heuristics.MWF(sys)
+		part, err := pool.Uniform(sys.Machines, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := pool.MapSequencePooled(sys, part, heuristics.MWFOrder(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials++
+		if pooled.Metric.Worth <= flat.Metric.Worth+1e-9 {
+			worse++
+		}
+	}
+	if worse < trials-1 { // allow one lucky tie-breaking inversion
+		t.Errorf("pooled beat flat in %d/%d trials; aggregation should not help", trials-worse, trials)
+	}
+}

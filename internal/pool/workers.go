@@ -1,0 +1,61 @@
+package pool
+
+// workers.go is the compute-side counterpart of the machine pools above: a
+// minimal worker-pool primitive the search heuristics use to fan independent
+// units of work (PSG trials, batched chromosome evaluations, experiment runs)
+// across OS threads. It is deliberately deterministic-friendly: Map only
+// decides *where* fn(i) runs, never what it computes, so callers that write
+// results into per-index storage get bit-identical output for every worker
+// count.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: any value below 1 means "use
+// every available core" (GOMAXPROCS), larger values are taken as-is.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(0) .. fn(n-1) across at most workers concurrent goroutines and
+// returns once every call has completed. Indices are handed out dynamically,
+// so uneven work items balance across workers. With workers <= 1 (or n <= 1)
+// the calls run serially, in index order, on the caller's goroutine — no
+// goroutines are spawned. fn must be safe for concurrent invocation with
+// distinct indices and should communicate results through per-index storage.
+func Map(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,70 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolve(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestMapCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 500
+		var hits [n]int32
+		Map(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestMapSerialRunsInOrder(t *testing.T) {
+	var order []int
+	Map(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial Map visited %v, want ascending order", order)
+		}
+	}
+}
+
+func TestMapDegenerateSizes(t *testing.T) {
+	ran := 0
+	Map(4, 0, func(int) { ran++ })
+	if ran != 0 {
+		t.Errorf("Map over zero items ran %d calls", ran)
+	}
+	Map(8, 1, func(i int) { ran++ })
+	if ran != 1 {
+		t.Errorf("Map over one item ran %d calls, want 1", ran)
+	}
+}
+
+// TestMapDeterministicResults: per-index result storage is identical for any
+// worker count — the contract the parallel PSG trials rely on.
+func TestMapDeterministicResults(t *testing.T) {
+	compute := func(workers int) [64]int {
+		var out [64]int
+		Map(workers, 64, func(i int) { out[i] = i * i })
+		return out
+	}
+	want := compute(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := compute(w); got != want {
+			t.Fatalf("workers=%d produced different results", w)
+		}
+	}
+}

@@ -12,14 +12,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
+	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -38,12 +43,35 @@ func main() {
 		skipUB    = flag.Bool("skip-ub", false, "skip the LP upper-bound series")
 		highHeavy = flag.Bool("high-heavy", false, "use the high-worth-heavy mix {0.1,0.2,0.7} instead of uniform")
 		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
+		metrics   = flag.Bool("metrics", false, "collect telemetry and print the instrument snapshot after the batch")
+		traceFile = flag.String("trace", "", "write a JSONL span/event trace to this file (implies -metrics)")
 	)
 	flag.Parse()
-	run(*exp, *runs, *seed, *strings_, *psgIters, *psgPop, *psgStall, *psgTrials, *workers, *psgBias, *skipUB, *highHeavy, *verbose)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *metrics || *traceFile != "" {
+		reg := telemetry.Enable()
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			fatal(err)
+			defer f.Close()
+			sink := telemetry.NewJSONLSink(f)
+			reg.SetSink(sink)
+			defer sink.Flush()
+		}
+	}
+	run(ctx, *exp, *runs, *seed, *strings_, *psgIters, *psgPop, *psgStall, *psgTrials, *workers, *psgBias, *skipUB, *highHeavy, *verbose)
+	if *metrics || *traceFile != "" {
+		fmt.Println()
+		report.WriteTelemetry(os.Stdout, telemetry.Capture())
+		if *traceFile != "" {
+			fmt.Printf("trace written to %s\n", *traceFile)
+		}
+	}
 }
 
-func run(exp string, runs int, seed int64, stringsOverride, psgIters, psgPop, psgStall, psgTrials, workers int, psgBias float64, skipUB, highHeavy, verbose bool) {
+func run(ctx context.Context, exp string, runs int, seed int64, stringsOverride, psgIters, psgPop, psgStall, psgTrials, workers int, psgBias float64, skipUB, highHeavy, verbose bool) {
 	psg := heuristics.DefaultPSGConfig()
 	psg.MaxIterations = psgIters
 	psg.PopulationSize = psgPop
@@ -147,8 +175,12 @@ func run(exp string, runs int, seed int64, stringsOverride, psgIters, psgPop, ps
 		did = true
 	}
 	if all || exp == "chaos" {
-		res, err := experiments.RunChaosStudy(opts, nil)
-		fatal(err)
+		res, err := experiments.RunChaosStudyContext(ctx, opts, nil)
+		if errors.Is(err, experiments.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "experiments: chaos study interrupted; reporting %d completed runs\n", res.Runs)
+		} else {
+			fatal(err)
+		}
 		res.WriteTable(w)
 		fmt.Fprintln(w)
 		did = true

@@ -25,9 +25,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +42,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -59,8 +63,28 @@ func main() {
 		dump      = flag.Bool("dump", false, "print the full application-to-machine mapping")
 		faultFile = flag.String("faults", "", "load a JSON failure scenario and run the failover analysis")
 		failMach  = flag.String("fail-machines", "", "comma-separated machines hit by permanent compartment losses")
+		metrics   = flag.Bool("metrics", false, "collect telemetry and print the instrument snapshot")
+		traceFile = flag.String("trace", "", "write a JSONL span/event trace to this file (implies -metrics)")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the search cooperatively: the GENITOR trials stop at the
+	// next iteration and the best partial mapping found so far is reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var traceSink *telemetry.JSONLSink
+	if *metrics || *traceFile != "" {
+		reg := telemetry.Enable()
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			fatal(err)
+			defer f.Close()
+			traceSink = telemetry.NewJSONLSink(f)
+			reg.SetSink(traceSink)
+			defer traceSink.Flush()
+		}
+	}
 
 	sys, err := loadSystem(*inFile, *scenario, *seed, *strings_)
 	fatal(err)
@@ -76,8 +100,15 @@ func main() {
 	cfg.Workers = *workers
 
 	start := time.Now()
-	r := heuristics.Run(*heuristic, sys, cfg)
+	r, err := heuristics.RunContext(ctx, *heuristic, sys, cfg)
 	elapsed := time.Since(start)
+	canceled := errors.Is(err, heuristics.ErrCanceled)
+	if err != nil && !canceled {
+		fatal(err)
+	}
+	if canceled {
+		fmt.Println("interrupted: reporting the best partial mapping found so far")
+	}
 
 	fmt.Printf("system: %d machines, %d strings, %d applications, total worth %.0f\n",
 		sys.Machines, len(sys.Strings), sys.NumApps(), sys.TotalWorth())
@@ -138,6 +169,18 @@ func main() {
 			if quiet > 0 {
 				fmt.Printf("%d injected outages disturbed no in-flight work\n", quiet)
 			}
+		}
+	}
+	if *metrics || *traceFile != "" {
+		snap := telemetry.Capture()
+		fmt.Println()
+		report.WriteTelemetry(os.Stdout, snap)
+		if evals := snap.Counter("feasibility.evaluations"); evals > 0 && elapsed.Seconds() > 0 {
+			fmt.Printf("  %-42s %12.0f\n", "feasibility evaluations/sec",
+				float64(evals)/elapsed.Seconds())
+		}
+		if traceSink != nil {
+			fmt.Printf("trace written to %s\n", *traceFile)
 		}
 	}
 }

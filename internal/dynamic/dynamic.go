@@ -154,7 +154,11 @@ type Result struct {
 	Feasible bool
 }
 
-// Counts tallies the actions by kind.
+// Counts tallies the actions by kind. Invariants callers may rely on (pinned
+// by TestCountsNetEvictionsInvariant): migrated+evicted+reclaimed equals
+// len(r.Actions); reclaimed <= evicted, because every Reclaimed action
+// re-places a string this same repair evicted; and evicted-reclaimed equals
+// NetEvictions(), the number of strings that end the repair unmapped.
 func (r *Result) Counts() (migrated, evicted, reclaimed int) {
 	for _, a := range r.Actions {
 		switch a.Kind {

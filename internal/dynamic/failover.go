@@ -16,6 +16,7 @@ import (
 	"repro/internal/feasibility"
 	"repro/internal/heuristics"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // repairer carries the shared migrate/evict/reclaim machinery behind Repair
@@ -30,6 +31,35 @@ type repairer struct {
 	evicted   map[int]bool          // strings evicted by this repair, reclaim candidates
 	tried     []bool                // strings that already got their one migrate attempt
 	res       *Result
+	tel       repairTelemetry
+}
+
+// repairTelemetry caches the repair-work counters for one repairer; all
+// fields are nil (no-op) when telemetry is disabled, so the repair loop pays
+// only a nil check per action.
+type repairTelemetry struct {
+	migrations   *telemetry.Counter
+	evictions    *telemetry.Counter
+	reclaims     *telemetry.Counter
+	evacuated    *telemetry.Counter
+	repairIters  *telemetry.Counter
+	reclaimPass  *telemetry.Counter
+	reclaimFixed *telemetry.Counter // fixpoint reached: passes that made no progress
+}
+
+func newRepairTelemetry() repairTelemetry {
+	if !telemetry.Enabled() {
+		return repairTelemetry{}
+	}
+	return repairTelemetry{
+		migrations:   telemetry.C("dynamic.migrations"),
+		evictions:    telemetry.C("dynamic.evictions"),
+		reclaims:     telemetry.C("dynamic.reclaims"),
+		evacuated:    telemetry.C("dynamic.evacuated"),
+		repairIters:  telemetry.C("dynamic.repair_iterations"),
+		reclaimPass:  telemetry.C("dynamic.reclaim_passes"),
+		reclaimFixed: telemetry.C("dynamic.reclaim_fixpoints"),
+	}
 }
 
 func newRepairer(alloc *feasibility.Allocation, mapped []bool, machineOK func(int) bool, routeOK func(int, int) bool) *repairer {
@@ -43,6 +73,7 @@ func newRepairer(alloc *feasibility.Allocation, mapped []bool, machineOK func(in
 		evicted:   make(map[int]bool),
 		tried:     make([]bool, len(sys.Strings)),
 		res:       &Result{WorthBefore: mappedWorth(sys, mapped)},
+		tel:       newRepairTelemetry(),
 	}
 }
 
@@ -73,6 +104,11 @@ func (r *repairer) placeAction(k int, kind ActionKind) {
 		}
 	}
 	r.res.Actions = append(r.res.Actions, a)
+	if kind == Reclaimed {
+		r.tel.reclaims.Inc()
+	} else {
+		r.tel.migrations.Inc()
+	}
 }
 
 // evict drops string k from the mapping and logs it.
@@ -83,6 +119,7 @@ func (r *repairer) evict(k int) {
 	r.mapped[k] = false
 	r.evicted[k] = true
 	r.res.Actions = append(r.res.Actions, Action{StringID: k, Kind: Evicted})
+	r.tel.evictions.Inc()
 }
 
 // repairLoop is the migrate-then-evict loop of Repair, restricted to the
@@ -92,6 +129,7 @@ func (r *repairer) evict(k int) {
 // necessary.
 func (r *repairer) repairLoop() {
 	for !r.alloc.TwoStageFeasible() {
+		r.tel.repairIters.Inc()
 		victim := pickVictim(r.alloc, r.mapped)
 		if victim < 0 {
 			break // no implicated string found (should not happen)
@@ -123,6 +161,7 @@ func (r *repairer) repairLoop() {
 func (r *repairer) reclaim() {
 	sys := r.alloc.System()
 	for {
+		r.tel.reclaimPass.Inc()
 		cands := make([]int, 0, len(r.evicted))
 		for k := range r.evicted {
 			cands = append(cands, k)
@@ -143,6 +182,7 @@ func (r *repairer) reclaim() {
 			}
 		}
 		if !progressed {
+			r.tel.reclaimFixed.Inc()
 			return
 		}
 	}
@@ -189,6 +229,7 @@ func Survive(alloc *feasibility.Allocation, mapped []bool, down *faults.Set) (*R
 	if len(mapped) != len(sys.Strings) {
 		return nil, fmt.Errorf("dynamic: %d mapped flags for %d strings", len(mapped), len(sys.Strings))
 	}
+	span := telemetry.BeginSpan("dynamic.survive")
 	r := newRepairer(alloc, mapped,
 		func(j int) bool { return !down.MachineDown(j) },
 		func(j1, j2 int) bool { return !down.RouteDown(j1, j2) })
@@ -201,6 +242,7 @@ func Survive(alloc *feasibility.Allocation, mapped []bool, down *faults.Set) (*R
 		}
 	}
 	r.res.Evacuated = append([]int(nil), evacuees...)
+	r.tel.evacuated.Add(int64(len(evacuees)))
 	for _, k := range evacuees {
 		r.rememberOrigin(k)
 		alloc.UnassignString(k)
@@ -222,7 +264,16 @@ func Survive(alloc *feasibility.Allocation, mapped []bool, down *faults.Set) (*R
 	// 3 and 4. Repair and reclaim.
 	r.repairLoop()
 	r.reclaim()
-	return r.result(), nil
+	res := r.result()
+	migrated, evicted, reclaimed := res.Counts()
+	span.End(
+		telemetry.F("evacuated", float64(len(evacuees))),
+		telemetry.F("migrated", float64(migrated)),
+		telemetry.F("evicted", float64(evicted)),
+		telemetry.F("reclaimed", float64(reclaimed)),
+		telemetry.F("retained", res.Retained),
+	)
+	return res, nil
 }
 
 // StringUsesFailed reports whether completely mapped string k touches a

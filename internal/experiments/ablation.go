@@ -16,7 +16,7 @@ import (
 // as a function of the GENITOR bias over [1, 2] (the paper settled on 1.6 by
 // varying bias in steps of 0.1).
 func BiasSweep(opts Options, biases []float64) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	if len(biases) == 0 {
 		biases = []float64{1.0, 1.2, 1.4, 1.6, 1.8, 2.0}
 	}
@@ -51,7 +51,7 @@ func BiasSweep(opts Options, biases []float64) (*Figure, error) {
 // (MWF and TF orderings injected) at the same search budget, isolating the
 // value of seeding.
 func SeedingStudy(opts Options) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	f := &Figure{Title: "Ablation: seeding the initial population (scenario 2)", Metric: "total worth", Runs: opts.Runs}
 	var mwf, tf, psg, seeded stats.Sample
 	cfg := opts.scenarioConfig(workload.QoSLimited)
@@ -85,7 +85,7 @@ func SeedingStudy(opts Options) (*Figure, error) {
 // PopulationSweep varies the GENITOR population size at a fixed iteration
 // budget.
 func PopulationSweep(opts Options, sizes []int) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	if len(sizes) == 0 {
 		sizes = []int{10, 50, 100, 250}
 	}
@@ -122,7 +122,7 @@ func PopulationSweep(opts Options, sizes []int) (*Figure, error) {
 // falls inside the high-worth class and the GA's freedom to choose among
 // equal-worth strings gives PSG/Seeded PSG the paper's reported edge.
 func WorthMixStudy(opts Options) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	f := &Figure{Title: "Ablation: worth-mix sensitivity (scenario 1)", Metric: "worth gap SeededPSG - MWF", Runs: opts.Runs}
 	mixes := []struct {
 		name    string

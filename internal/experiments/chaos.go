@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,8 +9,14 @@ import (
 	"repro/internal/faults"
 	"repro/internal/heuristics"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// ErrCanceled is returned by the ...Context study variants when their context
+// ends the batch early; the runs completed so far are still returned. It
+// wraps context.Canceled, so errors.Is(err, context.Canceled) also holds.
+var ErrCanceled = fmt.Errorf("experiments: study canceled: %w", context.Canceled)
 
 // ChaosStudy (E19) is the Monte Carlo survivability experiment: how much
 // worth does an initial allocation retain, and how much slackness is left,
@@ -43,7 +50,16 @@ type ChaosPoint struct {
 // {1, 2, 4, 6} simultaneous compartment hits (up to half the 12-machine
 // suite).
 func RunChaosStudy(opts Options, hits []int) (*ChaosStudy, error) {
-	opts = opts.withDefaults()
+	return RunChaosStudyContext(context.Background(), opts, hits)
+}
+
+// RunChaosStudyContext is RunChaosStudy with cooperative cancellation: the
+// context is polled between runs (and threaded into the GENITOR searches), so
+// a canceled context returns the whole runs completed so far — every sample
+// already in the study is complete across heuristics and hit counts —
+// together with ErrCanceled.
+func RunChaosStudyContext(ctx context.Context, opts Options, hits []int) (*ChaosStudy, error) {
+	opts = opts.WithDefaults()
 	if len(hits) == 0 {
 		hits = []int{1, 2, 4, 6}
 	}
@@ -62,12 +78,27 @@ func RunChaosStudy(opts Options, hits []int) (*ChaosStudy, error) {
 		out.InitialSlackness[n] = &stats.Sample{}
 	}
 	cfg := opts.scenarioConfig(workload.LightlyLoaded)
+	done := ctx.Done()
 	for run := 0; run < opts.Runs; run++ {
+		canceled := false
+		if done != nil {
+			select {
+			case <-done:
+				canceled = true
+			default:
+			}
+		}
+		if canceled {
+			out.Runs = run
+			return out, ErrCanceled
+		}
 		seed := opts.Seed + int64(run)
 		sys, err := workload.Generate(cfg, seed)
 		if err != nil {
 			return nil, err
 		}
+		// Build every initial allocation before recording any sample, so a
+		// cancellation mid-run never leaves the study with a lopsided run.
 		initial := map[string]*heuristics.Result{}
 		for _, name := range ChaosHeuristics {
 			var r *heuristics.Result
@@ -81,12 +112,18 @@ func RunChaosStudy(opts Options, hits []int) (*ChaosStudy, error) {
 			case "GENITOR":
 				pcfg := opts.PSG
 				pcfg.Seed = seed * 7919
-				r = heuristics.Run("SeededPSG", sys, pcfg)
+				r, err = heuristics.RunContext(ctx, "SeededPSG", sys, pcfg)
 			default:
-				r = heuristics.Run(name, sys, opts.PSG)
+				r, err = heuristics.RunContext(ctx, name, sys, opts.PSG)
+			}
+			if err != nil {
+				out.Runs = run
+				return out, ErrCanceled
 			}
 			initial[name] = r
-			out.InitialSlackness[name].Add(r.Metric.Slackness)
+		}
+		for _, name := range ChaosHeuristics {
+			out.InitialSlackness[name].Add(initial[name].Metric.Slackness)
 		}
 		for fi, f := range hits {
 			mc := faults.MonteCarlo{CompartmentHits: f}
@@ -114,6 +151,9 @@ func RunChaosStudy(opts Options, hits []int) (*ChaosStudy, error) {
 				pt.Cost.Add(res.CostSeconds)
 				pt.Evictions.Add(float64(res.NetEvictions()))
 			}
+		}
+		if telemetry.Enabled() {
+			telemetry.C("experiments.chaos_runs").Inc()
 		}
 		if opts.Progress != nil {
 			fmt.Fprintf(opts.Progress, "chaos study: run %d/%d done\n", run+1, opts.Runs)

@@ -37,7 +37,7 @@ type DynamicPoint struct {
 
 // RunDynamicStudy executes E16 on scenario-3 instances.
 func RunDynamicStudy(opts Options, scales []float64) (*DynamicStudy, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	if len(scales) == 0 {
 		scales = []float64{1.5, 2.0, 2.5, 3.0}
 	}

@@ -55,7 +55,14 @@ type Options struct {
 	Progress io.Writer
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns a copy of the options with every zero-valued field
+// replaced by its default: 10 runs (a lighter budget than the paper's 100),
+// the paper's PSG configuration when none is set, and the Workers override
+// pushed down into PSG.Workers. Value receiver — the original is never
+// mutated. Matches the Validate/WithDefaults pattern shared by
+// genitor.Config, heuristics.PSGConfig, and workload.Config; every exported
+// experiment entry point applies it, so the zero Options value is usable.
+func (o Options) WithDefaults() Options {
 	if o.Runs == 0 {
 		o.Runs = 10
 	}
@@ -66,6 +73,32 @@ func (o Options) withDefaults() Options {
 		o.PSG.Workers = o.Workers
 	}
 	return o
+}
+
+// Validate reports option errors on the already-defaulted values (apply
+// WithDefaults first, as the experiment entry points do): the run count and
+// string override must be sensible, the worth-weight override non-negative
+// with a positive sum, and the PSG configuration valid.
+func (o Options) Validate() error {
+	if o.Runs < 1 {
+		return fmt.Errorf("experiments: %d runs, want >= 1", o.Runs)
+	}
+	if o.Strings < 0 {
+		return fmt.Errorf("experiments: string override %d, want >= 0", o.Strings)
+	}
+	if o.WorthWeights != nil {
+		total := 0.0
+		for _, w := range o.WorthWeights {
+			if w < 0 {
+				return fmt.Errorf("experiments: negative worth weight %v", w)
+			}
+			total += w
+		}
+		if total <= 0 {
+			return fmt.Errorf("experiments: worth weights sum to %v", total)
+		}
+	}
+	return o.PSG.Validate()
 }
 
 func (o Options) scenarioConfig(s workload.Scenario) workload.Config {
@@ -108,20 +141,22 @@ func (f *Figure) WriteTable(w io.Writer) {
 	}
 }
 
-// Get returns the series with the given name, or nil.
-func (f *Figure) Get(name string) *Series {
+// Get returns the series with the given name and whether it exists. The
+// explicit second value forces callers to handle a missing series (a typo'd
+// name or a figure built with SkipUB) instead of dereferencing a silent nil.
+func (f *Figure) Get(name string) (*Series, bool) {
 	for i := range f.Series {
 		if f.Series[i].Name == name {
-			return &f.Series[i]
+			return &f.Series[i], true
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // worthFigure runs the partial-allocation experiment (Figures 3 and 4):
 // total worth per heuristic plus the relaxed LP upper bound.
 func worthFigure(scenario workload.Scenario, title string, opts Options) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	f := &Figure{Title: title, Metric: "total worth", Runs: opts.Runs}
 	series := map[string]*stats.Sample{}
 	names := append([]string(nil), heuristics.Names...)
@@ -182,7 +217,7 @@ func Figure4(opts Options) (*Figure, error) {
 // Figure5 regenerates Figure 5: system slackness for complete mapping in a
 // lightly loaded system (scenario 3).
 func Figure5(opts Options) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	f := &Figure{Title: "Figure 5: system slackness, lightly loaded system (scenario 3)",
 		Metric: "slackness", Runs: opts.Runs}
 	series := map[string]*stats.Sample{}
@@ -238,7 +273,7 @@ func Figure5(opts Options) (*Figure, error) {
 // seconds per heuristic run plus the LP upper-bound computation, on
 // scenario 1 instances.
 func Timing(opts Options) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	f := &Figure{Title: "Section 8: heuristic execution time (seconds)", Metric: "seconds", Runs: opts.Runs}
 	series := map[string]*stats.Sample{}
 	names := append([]string(nil), heuristics.Names...)

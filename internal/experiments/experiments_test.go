@@ -40,25 +40,38 @@ func checkFigure(t *testing.T, f *Figure, wantSeries []string) {
 	}
 }
 
+// mustGet fetches a series the test requires the figure to contain.
+func mustGet(t *testing.T, f *Figure, name string) *Series {
+	t.Helper()
+	s, ok := f.Get(name)
+	if !ok {
+		t.Fatalf("%s: series %q missing", f.Title, name)
+	}
+	return s
+}
+
 func TestFigure3SmallScale(t *testing.T) {
 	f, err := Figure3(fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkFigure(t, f, []string{"PSG", "MWF", "TF", "SeededPSG", "UB"})
-	ub := f.Get("UB").Sample.Mean()
+	ub := mustGet(t, f, "UB").Sample.Mean()
 	for _, name := range heuristics.Names {
-		if mean := f.Get(name).Sample.Mean(); mean > ub+1e-6 {
+		if mean := mustGet(t, f, name).Sample.Mean(); mean > ub+1e-6 {
 			t.Errorf("%s mean %v exceeds UB mean %v", name, mean, ub)
 		}
 	}
 	// Seeded PSG dominates MWF and TF by construction.
-	sp := f.Get("SeededPSG").Sample.Mean()
-	if f.Get("MWF").Sample.Mean() > sp+1e-9 || f.Get("TF").Sample.Mean() > sp+1e-9 {
+	sp := mustGet(t, f, "SeededPSG").Sample.Mean()
+	if mustGet(t, f, "MWF").Sample.Mean() > sp+1e-9 || mustGet(t, f, "TF").Sample.Mean() > sp+1e-9 {
 		t.Error("SeededPSG mean below a one-shot heuristic")
 	}
-	if f.Get("UB") == nil || f.Get("missing") != nil {
-		t.Error("Get misbehaves")
+	if s, ok := f.Get("UB"); !ok || s == nil {
+		t.Error("Get failed to find an existing series")
+	}
+	if s, ok := f.Get("missing"); ok || s != nil {
+		t.Error("Get reported a missing series as present")
 	}
 }
 
@@ -78,9 +91,9 @@ func TestFigure5SmallScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkFigure(t, f, []string{"PSG", "MWF", "TF", "SeededPSG", "UB"})
-	ub := f.Get("UB").Sample.Mean()
+	ub := mustGet(t, f, "UB").Sample.Mean()
 	for _, name := range heuristics.Names {
-		got := f.Get(name).Sample
+		got := mustGet(t, f, name).Sample
 		if got.Mean() > ub+1e-6 {
 			t.Errorf("%s slackness %v exceeds UB %v", name, got.Mean(), ub)
 		}
@@ -102,7 +115,7 @@ func TestTimingSmallScale(t *testing.T) {
 		}
 	}
 	// The GA must cost more than the one-shot heuristics.
-	if f.Get("PSG").Sample.Mean() <= f.Get("MWF").Sample.Mean() {
+	if mustGet(t, f, "PSG").Sample.Mean() <= mustGet(t, f, "MWF").Sample.Mean() {
 		t.Error("PSG not slower than MWF (suspicious)")
 	}
 }
@@ -195,8 +208,8 @@ func TestSeedingStudySmallScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkFigure(t, f, []string{"MWF", "TF", "PSG", "SeededPSG"})
-	sp := f.Get("SeededPSG").Sample
-	if f.Get("MWF").Sample.Mean() > sp.Mean()+1e-9 {
+	sp := mustGet(t, f, "SeededPSG").Sample
+	if mustGet(t, f, "MWF").Sample.Mean() > sp.Mean()+1e-9 {
 		t.Error("SeededPSG below MWF despite seeding")
 	}
 }
@@ -224,10 +237,10 @@ func TestTerminationStudySmallScale(t *testing.T) {
 	}
 	checkFigure(t, f, []string{"MWF-stop", "MWF-skip", "TF-stop", "TF-skip"})
 	// Skip dominates stop for the same ordering.
-	if f.Get("MWF-skip").Sample.Mean() < f.Get("MWF-stop").Sample.Mean()-1e-9 {
+	if mustGet(t, f, "MWF-skip").Sample.Mean() < mustGet(t, f, "MWF-stop").Sample.Mean()-1e-9 {
 		t.Error("MWF-skip below MWF-stop")
 	}
-	if f.Get("TF-skip").Sample.Mean() < f.Get("TF-stop").Sample.Mean()-1e-9 {
+	if mustGet(t, f, "TF-skip").Sample.Mean() < mustGet(t, f, "TF-stop").Sample.Mean()-1e-9 {
 		t.Error("TF-skip below TF-stop")
 	}
 }

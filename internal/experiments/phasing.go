@@ -28,7 +28,7 @@ type PhasingStudy struct {
 
 // RunPhasingStudy executes E17 on scenario-2 instances mapped by MWF.
 func RunPhasingStudy(opts Options) (*PhasingStudy, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	out := &PhasingStudy{Runs: opts.Runs}
 	cfg := opts.scenarioConfig(workload.QoSLimited)
 	for run := 0; run < opts.Runs; run++ {
@@ -97,7 +97,7 @@ type PoolingStudy struct {
 
 // RunPoolingStudy executes E18 on scenario-1 instances.
 func RunPoolingStudy(opts Options, sizes []int) (*PoolingStudy, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	if len(sizes) == 0 {
 		sizes = []int{2, 3, 4, 6}
 	}

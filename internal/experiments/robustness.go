@@ -42,7 +42,7 @@ type RobustnessResult struct {
 // Robustness runs the workload-scale sweep on scenario-3 instances allocated
 // by the given heuristic.
 func Robustness(opts Options, heuristic string, scales []float64) (*RobustnessResult, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	if len(scales) == 0 {
 		scales = []float64{1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 2.8, 3.2}
 	}

@@ -21,7 +21,7 @@ import (
 // an equal evaluation budget, the solution-space GA (with a
 // best-effort greedy repair) is compared against PSG and Seeded PSG.
 func SSGStudy(opts Options) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	f := &Figure{Title: "Study E10: solution-space GA vs permutation-space GA (scenario 2)",
 		Metric: "total worth", Runs: opts.Runs}
 	var ssg, psg, seeded stats.Sample
@@ -63,7 +63,7 @@ func SSGStudy(opts Options) (*Figure, error) {
 // mapping semantics against a skip-on-failure variant, for the MWF and TF
 // orderings on QoS-limited instances (where early failures are common).
 func TerminationStudy(opts Options) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	f := &Figure{Title: "Study E11: terminate-at-first-failure vs skip-on-failure (scenario 2)",
 		Metric: "total worth", Runs: opts.Runs}
 	samples := make([]stats.Sample, 4)
@@ -97,7 +97,7 @@ func TerminationStudy(opts Options) (*Figure, error) {
 // inconsistent heterogeneity model against the consistent model of the
 // heterogeneous-computing literature (paper reference [5]).
 func HeterogeneityStudy(opts Options) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	f := &Figure{Title: "Study E12: inconsistent vs consistent machine heterogeneity (scenario 1)",
 		Metric: "total worth", Runs: opts.Runs}
 	models := []workload.Heterogeneity{workload.Inconsistent, workload.Consistent}
@@ -137,7 +137,7 @@ func HeterogeneityStudy(opts Options) (*Figure, error) {
 // preserves on QoS-limited instances with a medium-heavy mix (where the
 // schemes actually disagree).
 func WorthSchemeStudy(opts Options) (*Figure, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	f := &Figure{Title: "Study E14: standard vs alternate (classed) worth scheme (scenario 2)",
 		Metric: "worth", Runs: opts.Runs}
 	var stdTotal, stdHigh, classedTotal, classedHigh stats.Sample
@@ -194,7 +194,7 @@ type RelaxationAudit struct {
 // AuditRelaxation runs E13 on reduced scenario-2 instances (the full LP is
 // exponential-ish in practice beyond a few dozen strings).
 func AuditRelaxation(opts Options) (*RelaxationAudit, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	strings := opts.Strings
 	if strings == 0 || strings > 20 {
 		strings = 10

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // Unassigned marks an application with no machine assignment yet.
@@ -49,6 +50,49 @@ type Allocation struct {
 	perRoute   [][][]appRef // [j1][j2] -> producing apps whose output uses the route
 
 	tightness []float64 // T[k] per equation (4); NaN until string k is complete
+
+	tel allocTelemetry // shared hot-path counters; nil fields when disabled
+}
+
+// allocTelemetry caches the feasibility counters once per Allocation so the
+// constraint-check hot path pays a nil check instead of a registry lookup.
+// All fields are nil (no-op) when telemetry is disabled.
+type allocTelemetry struct {
+	evaluations *telemetry.Counter // FeasibleAfterAdding calls
+	checks      *telemetry.Counter // CheckString calls
+	violations  *telemetry.Counter // total equation (1) violations observed
+	violComp    *telemetry.Counter // by kind: throughput-comp
+	violTran    *telemetry.Counter // by kind: throughput-tran
+	violLat     *telemetry.Counter // by kind: latency
+	stage1Fail  *telemetry.Counter // stage-1 capacity rejections
+}
+
+func newAllocTelemetry() allocTelemetry {
+	if !telemetry.Enabled() {
+		return allocTelemetry{}
+	}
+	return allocTelemetry{
+		evaluations: telemetry.C("feasibility.evaluations"),
+		checks:      telemetry.C("feasibility.check_string"),
+		violations:  telemetry.C("feasibility.violations"),
+		violComp:    telemetry.C("feasibility.violation." + KindThroughputComp),
+		violTran:    telemetry.C("feasibility.violation." + KindThroughputTran),
+		violLat:     telemetry.C("feasibility.violation." + KindLatency),
+		stage1Fail:  telemetry.C("feasibility.stage1_fail"),
+	}
+}
+
+// countViolation tallies a stage-2 violation by kind; nil-safe.
+func (t *allocTelemetry) countViolation(kind string) {
+	t.violations.Inc()
+	switch kind {
+	case KindThroughputComp:
+		t.violComp.Inc()
+	case KindThroughputTran:
+		t.violTran.Inc()
+	case KindLatency:
+		t.violLat.Inc()
+	}
 }
 
 // New returns an empty allocation over sys. The system must be validated.
@@ -63,6 +107,7 @@ func New(sys *model.System) *Allocation {
 		perMachine:  make([][]appRef, m),
 		perRoute:    make([][][]appRef, m),
 		tightness:   make([]float64, len(sys.Strings)),
+		tel:         newAllocTelemetry(),
 	}
 	for k := range sys.Strings {
 		a.machineOf[k] = make([]int, len(sys.Strings[k].Apps))
@@ -283,6 +328,7 @@ func (a *Allocation) Clone() *Allocation {
 		perMachine:  make([][]appRef, len(a.perMachine)),
 		perRoute:    make([][][]appRef, len(a.perRoute)),
 		tightness:   append([]float64(nil), a.tightness...),
+		tel:         a.tel,
 	}
 	for k := range a.machineOf {
 		cp.machineOf[k] = append([]int(nil), a.machineOf[k]...)

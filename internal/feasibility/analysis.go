@@ -145,6 +145,15 @@ func (a *Allocation) StringLatency(k int) float64 {
 // equation (1) for completely mapped string k, returning the first violation
 // found or nil.
 func (a *Allocation) CheckString(k int) *Violation {
+	a.tel.checks.Inc()
+	v := a.checkString(k)
+	if v != nil {
+		a.tel.countViolation(v.Kind)
+	}
+	return v
+}
+
+func (a *Allocation) checkString(k int) *Violation {
 	s := &a.sys.Strings[k]
 	n := len(s.Apps)
 	latency := 0.0
@@ -234,17 +243,20 @@ func (a *Allocation) FeasibleAfterAdding(k int) bool {
 	if !a.Complete(k) {
 		panic(fmt.Sprintf("feasibility: FeasibleAfterAdding on incompletely mapped string %d", k))
 	}
+	a.tel.evaluations.Inc()
 	s := &a.sys.Strings[k]
 	n := len(s.Apps)
 	// Stage 1 on touched resources.
 	for i := 0; i < n; i++ {
 		m := a.machineOf[k][i]
 		if a.machineUtil[m] > 1+utilEps {
+			a.tel.stage1Fail.Inc()
 			return false
 		}
 		if i < n-1 {
 			j1, j2 := m, a.machineOf[k][i+1]
 			if j1 != j2 && a.routeUtil[j1][j2] > 1+utilEps {
+				a.tel.stage1Fail.Inc()
 				return false
 			}
 		}

@@ -1,0 +1,105 @@
+package genitor
+
+import (
+	"context"
+	"testing"
+)
+
+func TestConfigWithDefaults(t *testing.T) {
+	var zero Config
+	if got, want := zero.WithDefaults(), DefaultConfig(); got != want {
+		t.Errorf("zero.WithDefaults() = %+v, want %+v", got, want)
+	}
+	if zero != (Config{}) {
+		t.Error("WithDefaults mutated its receiver")
+	}
+	partial := Config{PopulationSize: 12, Seed: 77}
+	got := partial.WithDefaults()
+	if got.PopulationSize != 12 || got.Seed != 77 {
+		t.Errorf("WithDefaults clobbered explicit fields: %+v", got)
+	}
+	if got.Bias != 1.6 || got.MaxIterations != 5000 || got.StallLimit != 300 {
+		t.Errorf("WithDefaults missed zero fields: %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("defaulted config must validate: %v", err)
+	}
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"population below 2", func(c *Config) { c.PopulationSize = 1 }},
+		{"bias below 1", func(c *Config) { c.Bias = 0.5 }},
+		{"bias above 2", func(c *Config) { c.Bias = 2.5 }},
+		{"negative iterations", func(c *Config) { c.MaxIterations = -1 }},
+		{"zero stall limit", func(c *Config) { c.StallLimit = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("paper defaults must validate: %v", err)
+	}
+}
+
+// TestRunContextCanceled: a pre-canceled context stops the engine before its
+// first iteration with StopCanceled, still returning the best chromosome of
+// the (already evaluated) initial population.
+func TestRunContextCanceled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 10
+	cfg.MaxIterations = 1000
+	// Fitness favors the identity permutation: reward genes on their own index.
+	eval := func(perm []int) Fitness {
+		score := 0.0
+		for i, g := range perm {
+			if i == g {
+				score++
+			}
+		}
+		return Fitness{Primary: score}
+	}
+	eng, err := New(cfg, 6, nil, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	perm, fit, stats := eng.RunContext(ctx)
+	if stats.StopReason != StopCanceled {
+		t.Errorf("stop reason %q, want %q", stats.StopReason, StopCanceled)
+	}
+	if stats.Iterations != 0 {
+		t.Errorf("%d iterations under a pre-canceled context, want 0", stats.Iterations)
+	}
+	if stats.Evaluations != cfg.PopulationSize {
+		t.Errorf("%d evaluations, want the %d initial members", stats.Evaluations, cfg.PopulationSize)
+	}
+	if len(perm) != 6 {
+		t.Fatalf("best chromosome has %d genes, want 6", len(perm))
+	}
+	seen := make([]bool, 6)
+	for _, g := range perm {
+		if g < 0 || g >= 6 || seen[g] {
+			t.Fatalf("best chromosome %v is not a permutation", perm)
+		}
+		seen[g] = true
+	}
+	bestPerm, bestFit := eng.Best()
+	if fit != bestFit {
+		t.Errorf("returned fitness %+v != engine best %+v", fit, bestFit)
+	}
+	for i := range perm {
+		if perm[i] != bestPerm[i] {
+			t.Fatalf("returned chromosome %v != engine best %v", perm, bestPerm)
+		}
+	}
+}

@@ -18,11 +18,14 @@
 package genitor
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Fitness is a two-component lexicographic fitness: Primary dominates, and
@@ -70,6 +73,28 @@ func DefaultConfig() Config {
 	return Config{PopulationSize: 250, Bias: 1.6, MaxIterations: 5000, StallLimit: 300}
 }
 
+// WithDefaults returns a copy of the configuration with every zero-valued
+// search parameter replaced by its paper default (DefaultConfig). Seed is
+// left alone: zero is a valid seed. Value receiver: the original is never
+// mutated, matching the Validate/WithDefaults pattern shared by
+// workload.Config, heuristics.PSGConfig, and experiments.Options.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	if c.PopulationSize == 0 {
+		c.PopulationSize = d.PopulationSize
+	}
+	if c.Bias == 0 {
+		c.Bias = d.Bias
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = d.MaxIterations
+	}
+	if c.StallLimit == 0 {
+		c.StallLimit = d.StallLimit
+	}
+	return c
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.PopulationSize < 2 {
@@ -92,6 +117,9 @@ const (
 	StopMaxIterations = "max-iterations"
 	StopEliteStall    = "elite-stall"
 	StopConverged     = "converged"
+	// StopCanceled is reported by RunContext when the context ended the run
+	// early; the engine still returns its best-so-far chromosome.
+	StopCanceled = "canceled"
 )
 
 // Stats describes how a run ended.
@@ -117,6 +145,36 @@ type Engine struct {
 	pop   []member // sorted best-first
 	stats Stats
 	stall int
+	tel   engineTelemetry
+}
+
+// engineTelemetry caches the GENITOR counters once per engine; all fields are
+// nil (no-op) when telemetry is disabled. The batch-size histogram records
+// lane occupancy: how many candidates each evalAll batch carried (3 on every
+// Step, the population size during initialization).
+type engineTelemetry struct {
+	steps       *telemetry.Counter
+	evaluations *telemetry.Counter
+	crossAcc    *telemetry.Counter
+	crossRej    *telemetry.Counter
+	mutAcc      *telemetry.Counter
+	mutRej      *telemetry.Counter
+	batchSize   *telemetry.Histogram
+}
+
+func newEngineTelemetry() engineTelemetry {
+	if !telemetry.Enabled() {
+		return engineTelemetry{}
+	}
+	return engineTelemetry{
+		steps:       telemetry.C("genitor.steps"),
+		evaluations: telemetry.C("genitor.evaluations"),
+		crossAcc:    telemetry.C("genitor.crossover.accepted"),
+		crossRej:    telemetry.C("genitor.crossover.rejected"),
+		mutAcc:      telemetry.C("genitor.mutation.accepted"),
+		mutRej:      telemetry.C("genitor.mutation.rejected"),
+		batchSize:   telemetry.H("genitor.batch_size", 1, 2, 3, 8, 64, 256),
+	}
 }
 
 // New builds an engine over permutations of n genes. Each seed permutation is
@@ -160,6 +218,7 @@ func NewBatch(cfg Config, n int, seeds [][]int, lanes []Evaluator) (*Engine, err
 		lanes: lanes,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		pop:   make([]member, 0, cfg.PopulationSize),
+		tel:   newEngineTelemetry(),
 	}
 	for _, s := range seeds {
 		if !IsPermutation(s, n) {
@@ -186,6 +245,8 @@ func NewBatch(cfg Config, n int, seeds [][]int, lanes []Evaluator) (*Engine, err
 // matches the input order regardless of lane count.
 func (e *Engine) evalAll(perms [][]int) []Fitness {
 	e.stats.Evaluations += len(perms)
+	e.tel.evaluations.Add(int64(len(perms)))
+	e.tel.batchSize.Observe(float64(len(perms)))
 	out := make([]Fitness, len(perms))
 	g := len(e.lanes)
 	if g > len(perms) {
@@ -245,16 +306,17 @@ func (e *Engine) selectRank() int {
 
 // tryInsert offers a chromosome for inclusion: if it has higher fitness than
 // the poorest member, it is inserted in sorted order and the poorest removed;
-// otherwise it is discarded. Reports whether the elite changed.
-func (e *Engine) tryInsert(perm []int, fit Fitness) bool {
+// otherwise it is discarded. Reports whether the chromosome entered the
+// population and whether it became the new elite.
+func (e *Engine) tryInsert(perm []int, fit Fitness) (inserted, elite bool) {
 	worst := e.pop[len(e.pop)-1]
 	if !fit.Better(worst.fitness) {
-		return false
+		return false, false
 	}
 	pos := sort.Search(len(e.pop), func(i int) bool { return fit.Better(e.pop[i].fitness) })
 	copy(e.pop[pos+1:], e.pop[pos:len(e.pop)-1])
 	e.pop[pos] = member{perm: perm, fitness: fit}
-	return pos == 0
+	return true, pos == 0
 }
 
 // crossover implements the paper's operator: a random cut-off point divides
@@ -330,18 +392,50 @@ func (e *Engine) Step() bool {
 	fits := e.evalAll(cands)
 	eliteChanged := false
 	for i, cand := range cands {
-		if e.tryInsert(cand, fits[i]) {
+		inserted, elite := e.tryInsert(cand, fits[i])
+		if elite {
 			eliteChanged = true
+		}
+		// Acceptance accounting: cands[0] and cands[1] are the crossover
+		// offspring, cands[2] the mutant.
+		switch {
+		case i < 2 && inserted:
+			e.tel.crossAcc.Inc()
+		case i < 2:
+			e.tel.crossRej.Inc()
+		case inserted:
+			e.tel.mutAcc.Inc()
+		default:
+			e.tel.mutRej.Inc()
 		}
 	}
 	e.stats.Iterations++
+	e.tel.steps.Inc()
 	return eliteChanged
 }
 
 // Run iterates until one of the stopping conditions is reached and returns
 // the elite chromosome, its fitness, and run statistics.
 func (e *Engine) Run() ([]int, Fitness, Stats) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// before every iteration, and a canceled context stops the search with
+// StopCanceled while still returning the best chromosome found so far (a
+// partial but usable result). With context.Background() it is exactly Run.
+func (e *Engine) RunContext(ctx context.Context) ([]int, Fitness, Stats) {
+	done := ctx.Done()
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				e.stats.StopReason = StopCanceled
+				best, fit := e.Best()
+				return best, fit, e.stats
+			default:
+			}
+		}
 		if e.stats.Iterations >= e.cfg.MaxIterations {
 			e.stats.StopReason = StopMaxIterations
 			break

@@ -6,6 +6,7 @@ import (
 	"repro/internal/feasibility"
 	"repro/internal/genitor"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // This file is the evaluation engine behind the PSG variants: decoding a
@@ -86,20 +87,33 @@ type seqDecoder struct {
 	score   scoreFunc
 	memo    *decodeMemo
 	key     []byte // reusable 2-bytes-per-gene encoding buffer
+
+	// Shared memo counters; nil (no-op) when telemetry is disabled, so the
+	// per-decode overhead is a nil check — pinned by
+	// TestDecodeHotPathZeroAlloc and BenchmarkDecodeTelemetry.
+	memoHit  *telemetry.Counter
+	memoMiss *telemetry.Counter
 }
 
 // newDecoderBank builds the evaluator lanes for one GENITOR trial: each lane
 // gets its own scratch allocation, all lanes share one memo.
 func newDecoderBank(sys *model.System, score scoreFunc, lanes int) []genitor.Evaluator {
 	memo := newDecodeMemo()
+	var hit, miss *telemetry.Counter
+	if telemetry.Enabled() {
+		hit = telemetry.C("heuristics.decode.memo_hit")
+		miss = telemetry.C("heuristics.decode.memo_miss")
+	}
 	evals := make([]genitor.Evaluator, lanes)
 	for i := range evals {
 		d := &seqDecoder{
-			sys:     sys,
-			scratch: feasibility.New(sys),
-			score:   score,
-			memo:    memo,
-			key:     make([]byte, 0, 2*len(sys.Strings)),
+			sys:      sys,
+			scratch:  feasibility.New(sys),
+			score:    score,
+			memo:     memo,
+			key:      make([]byte, 0, 2*len(sys.Strings)),
+			memoHit:  hit,
+			memoMiss: miss,
 		}
 		evals[i] = d.fitness
 	}
@@ -116,8 +130,10 @@ func (d *seqDecoder) fitness(perm []int) genitor.Fitness {
 		d.key = append(d.key, byte(g>>8), byte(g))
 	}
 	if fit, ok := d.memo.find(d.key); ok {
+		d.memoHit.Inc()
 		return fit
 	}
+	d.memoMiss.Inc()
 	consumed := decodeInto(d.scratch, perm)
 	fit := d.score(d.scratch)
 	d.memo.store(d.key[:2*consumed], fit)

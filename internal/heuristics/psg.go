@@ -1,10 +1,22 @@
 package heuristics
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"repro/internal/genitor"
 	"repro/internal/model"
 	"repro/internal/pool"
+	"repro/internal/telemetry"
 )
+
+// ErrCanceled is returned by the ...Context search variants when their
+// context ends the run early. The accompanying *Result is a usable partial
+// answer — the best mapping found before cancellation — so callers decide
+// whether to keep or discard it. The error wraps context.Canceled, so
+// errors.Is(err, context.Canceled) also holds.
+var ErrCanceled = fmt.Errorf("heuristics: search canceled: %w", context.Canceled)
 
 // PSGConfig parameterizes the Permutation-Space GENITOR heuristic. Trials is
 // the number of independent GENITOR runs (distinct starting points in the
@@ -30,6 +42,32 @@ func DefaultPSGConfig() PSGConfig {
 	return PSGConfig{Config: genitor.DefaultConfig(), Trials: 4}
 }
 
+// WithDefaults returns a copy with every zero-valued search parameter
+// replaced by its paper default: the embedded GENITOR parameters via
+// genitor.Config.WithDefaults, and four trials. Seed and Workers are kept
+// as-is (zero is meaningful for both). Value receiver — the original is
+// never mutated.
+func (c PSGConfig) WithDefaults() PSGConfig {
+	c.Config = c.Config.WithDefaults()
+	if c.Trials == 0 {
+		c.Trials = DefaultPSGConfig().Trials
+	}
+	return c
+}
+
+// Validate reports configuration errors: the embedded GENITOR parameters
+// must pass genitor.Config.Validate and Trials must be positive. Workers is
+// unconstrained (any value below one means "all cores").
+func (c PSGConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("heuristics: %d PSG trials, want >= 1", c.Trials)
+	}
+	return nil
+}
+
 // lanesPerTrial splits the worker budget between trial-level parallelism and
 // in-trial batched evaluation: lanes beyond one only help once every trial
 // already has a worker, and more than three lanes are useless because a
@@ -45,6 +83,34 @@ func lanesPerTrial(workers, trials int) int {
 	return lanes
 }
 
+// psgTelemetry caches the search-level counters for one psgRun; nil fields
+// (no-op) when telemetry is disabled.
+type psgTelemetry struct {
+	trials      *telemetry.Counter
+	iterations  *telemetry.Counter
+	evaluations *telemetry.Counter
+}
+
+func newPSGTelemetry() psgTelemetry {
+	if !telemetry.Enabled() {
+		return psgTelemetry{}
+	}
+	return psgTelemetry{
+		trials:      telemetry.C("heuristics.psg.trials"),
+		iterations:  telemetry.C("heuristics.psg.iterations"),
+		evaluations: telemetry.C("heuristics.psg.evaluations"),
+	}
+}
+
+// countStop tallies a trial's stop reason ("heuristics.psg.stop.<reason>" —
+// stall exits, budget exhaustion, convergence, cancellation).
+func countStop(reason string) {
+	if !telemetry.Enabled() || reason == "" {
+		return
+	}
+	telemetry.C("heuristics.psg.stop." + reason).Inc()
+}
+
 // psgRun executes cfg.Trials independent GENITOR searches over the
 // permutation space — concurrently, over cfg.Workers pool workers — with the
 // given seed chromosomes and per-allocation scoring function, and returns the
@@ -52,26 +118,52 @@ func lanesPerTrial(workers, trials int) int {
 // the trial index alone and decoding is pure, so the outcome is identical to
 // a serial run for any worker count.
 func psgRun(sys *model.System, cfg PSGConfig, seeds [][]int, name string, score scoreFunc) *Result {
+	r, err := psgRunContext(context.Background(), sys, cfg, seeds, name, score)
+	if err != nil {
+		// Background contexts never cancel; any other error is a
+		// configuration bug, matching the historical panic behavior.
+		panic("heuristics: " + err.Error())
+	}
+	return r
+}
+
+// psgRunContext is psgRun with cooperative cancellation: every trial polls
+// the context between GENITOR iterations, and a canceled context yields the
+// best mapping found so far together with ErrCanceled.
+func psgRunContext(ctx context.Context, sys *model.System, cfg PSGConfig, seeds [][]int, name string, score scoreFunc) (*Result, error) {
 	if cfg.Trials < 1 {
 		cfg.Trials = 1
 	}
 	workers := pool.Workers(cfg.Workers)
 	lanes := lanesPerTrial(workers, cfg.Trials)
+	tel := newPSGTelemetry()
+	runSpan := telemetry.BeginSpan("psg.run")
 	type trialOut struct {
 		perm  []int
 		fit   genitor.Fitness
 		stats genitor.Stats
 	}
 	outs := make([]trialOut, cfg.Trials)
+	var trialErr error
 	pool.Map(workers, cfg.Trials, func(trial int) {
+		span := telemetry.BeginSpan("psg.trial")
 		gcfg := cfg.Config
 		gcfg.Seed = cfg.Seed + int64(trial)*1000003
 		eng, err := genitor.NewBatch(gcfg, len(sys.Strings), seeds, newDecoderBank(sys, score, lanes))
 		if err != nil {
 			panic("heuristics: " + err.Error()) // configuration bug, not input data
 		}
-		perm, fit, stats := eng.Run()
+		perm, fit, stats := eng.RunContext(ctx)
 		outs[trial] = trialOut{perm: perm, fit: fit, stats: stats}
+		tel.trials.Inc()
+		tel.iterations.Add(int64(stats.Iterations))
+		tel.evaluations.Add(int64(stats.Evaluations))
+		countStop(stats.StopReason)
+		span.End(
+			telemetry.F("trial", float64(trial)),
+			telemetry.F("iterations", float64(stats.Iterations)),
+			telemetry.F("evaluations", float64(stats.Evaluations)),
+		)
 	})
 	best := 0
 	totalEvals, totalIters := 0, 0
@@ -87,7 +179,15 @@ func psgRun(sys *model.System, cfg PSGConfig, seeds [][]int, name string, score 
 	r.Evaluations = totalEvals
 	r.Iterations = totalIters
 	r.StopReason = outs[best].stats.StopReason
-	return r
+	runSpan.End(
+		telemetry.F("trials", float64(cfg.Trials)),
+		telemetry.F("evaluations", float64(totalEvals)),
+		telemetry.F("worth", r.Metric.Worth),
+	)
+	if ctx.Err() != nil {
+		trialErr = ErrCanceled
+	}
+	return r, trialErr
 }
 
 // PSG runs the Permutation-Space GENITOR-based heuristic: GENITOR search over
@@ -98,11 +198,31 @@ func PSG(sys *model.System, cfg PSGConfig) *Result {
 	return psgRun(sys, cfg, nil, "PSG", metricScore)
 }
 
+// PSGContext is PSG with cooperative cancellation; on a canceled context it
+// returns the best partial result found so far alongside ErrCanceled.
+func PSGContext(ctx context.Context, sys *model.System, cfg PSGConfig) (*Result, error) {
+	return psgRunContext(ctx, sys, cfg, nil, "PSG", metricScore)
+}
+
 // SeededPSG runs PSG with the MWF and TF orderings included in the initial
 // population; all other operations and stopping conditions are identical.
 func SeededPSG(sys *model.System, cfg PSGConfig) *Result {
 	seeds := [][]int{MWFOrder(sys), TFOrder(sys)}
 	return psgRun(sys, cfg, seeds, "SeededPSG", metricScore)
+}
+
+// SeededPSGContext is SeededPSG with cooperative cancellation (see
+// PSGContext).
+func SeededPSGContext(ctx context.Context, sys *model.System, cfg PSGConfig) (*Result, error) {
+	seeds := [][]int{MWFOrder(sys), TFOrder(sys)}
+	return psgRunContext(ctx, sys, cfg, seeds, "SeededPSG", metricScore)
+}
+
+// ClassedPSGContext is ClassedPSG with cooperative cancellation (see
+// PSGContext).
+func ClassedPSGContext(ctx context.Context, sys *model.System, cfg PSGConfig) (*Result, error) {
+	seeds := [][]int{ClassedOrder(sys), MWFOrder(sys)}
+	return psgRunContext(ctx, sys, cfg, seeds, "ClassedPSG", classedScore(sys))
 }
 
 // Names lists the paper's four heuristics, in the order the figures report
@@ -117,19 +237,31 @@ var (
 // Run dispatches a heuristic by name. PSG configuration applies to the
 // GENITOR-based variants (the SSG baseline reuses its budget fields).
 func Run(name string, sys *model.System, cfg PSGConfig) *Result {
+	r, err := RunContext(context.Background(), name, sys, cfg)
+	if err != nil {
+		panic("heuristics: " + err.Error()) // background contexts never cancel
+	}
+	return r
+}
+
+// RunContext dispatches a heuristic by name with cooperative cancellation.
+// The one-shot heuristics (MWF, TF) are too quick to interrupt and ignore
+// the context; the search heuristics poll it between iterations and, when it
+// ends the run early, return their best partial result with ErrCanceled.
+func RunContext(ctx context.Context, name string, sys *model.System, cfg PSGConfig) (*Result, error) {
 	switch name {
 	case "MWF":
-		return MWF(sys)
+		return MWF(sys), nil
 	case "TF":
-		return TF(sys)
+		return TF(sys), nil
 	case "PSG":
-		return PSG(sys, cfg)
+		return PSGContext(ctx, sys, cfg)
 	case "SeededPSG":
-		return SeededPSG(sys, cfg)
+		return SeededPSGContext(ctx, sys, cfg)
 	case "ClassedPSG":
-		return ClassedPSG(sys, cfg)
+		return ClassedPSGContext(ctx, sys, cfg)
 	case "SSG":
-		return SSG(sys, SSGConfig{
+		return SSGContext(ctx, sys, SSGConfig{
 			PopulationSize: cfg.PopulationSize,
 			Bias:           cfg.Bias,
 			MaxIterations:  cfg.MaxIterations,
@@ -140,3 +272,7 @@ func Run(name string, sys *model.System, cfg PSGConfig) *Result {
 		panic("heuristics: unknown heuristic " + name)
 	}
 }
+
+// IsCanceled reports whether err is the cancellation sentinel of this
+// package (or wraps it).
+func IsCanceled(err error) bool { return errors.Is(err, ErrCanceled) }

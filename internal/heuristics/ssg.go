@@ -1,12 +1,14 @@
 package heuristics
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
 
 	"repro/internal/feasibility"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // Solution-Space GA (SSG): the baseline the paper dismisses in Section 5 —
@@ -150,14 +152,29 @@ type ssgMember struct {
 // with rank-bias selection (as in GENITOR), uniform crossover on assignment
 // vectors, and random-reset mutation of one gene.
 func SSG(sys *model.System, cfg SSGConfig) *Result {
+	r, _ := SSGContext(context.Background(), sys, cfg) // background contexts never cancel
+	return r
+}
+
+// SSGContext is SSG with cooperative cancellation: the context is polled
+// between iterations, and a canceled context stops the search with stop
+// reason "canceled", returning the best assignment found so far alongside
+// ErrCanceled.
+func SSGContext(ctx context.Context, sys *model.System, cfg SSGConfig) (*Result, error) {
 	if cfg.PopulationSize < 2 {
 		cfg.PopulationSize = 2
+	}
+	var telIters, telEvals *telemetry.Counter
+	if telemetry.Enabled() {
+		telIters = telemetry.C("heuristics.ssg.iterations")
+		telEvals = telemetry.C("heuristics.ssg.evaluations")
 	}
 	nGenes := sys.NumApps()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	evals := 0
 	eval := func(genes []int) feasibility.Metric {
 		evals++
+		telEvals.Inc()
 		return DecodeAssignment(sys, genes).Metric
 	}
 	pop := make([]ssgMember, cfg.PopulationSize)
@@ -200,7 +217,18 @@ func SSG(sys *model.System, cfg SSGConfig) *Result {
 
 	iters, stall := 0, 0
 	stopReason := "max-iterations"
+	done := ctx.Done()
 	for iters < cfg.MaxIterations {
+		if done != nil {
+			select {
+			case <-done:
+				stopReason = "canceled"
+			default:
+			}
+			if stopReason == "canceled" {
+				break
+			}
+		}
 		p1, p2 := pop[selectRank()].genes, pop[selectRank()].genes
 		// Uniform crossover: two complementary offspring.
 		c1 := make([]int, nGenes)
@@ -232,6 +260,7 @@ func SSG(sys *model.System, cfg SSGConfig) *Result {
 			improved = true
 		}
 		iters++
+		telIters.Inc()
 		if improved {
 			stall = 0
 		} else {
@@ -246,7 +275,10 @@ func SSG(sys *model.System, cfg SSGConfig) *Result {
 	best.Evaluations = evals
 	best.Iterations = iters
 	best.StopReason = stopReason
-	return best
+	if stopReason == "canceled" {
+		return best, ErrCanceled
+	}
+	return best, nil
 }
 
 func sortSSG(pop []ssgMember) {

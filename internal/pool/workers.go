@@ -12,6 +12,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Workers resolves a requested worker count: any value below 1 means "use
@@ -36,6 +39,16 @@ func Map(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	// Worker-utilization telemetry: busy nanoseconds summed over tasks versus
+	// capacity nanoseconds (wall time × workers). Timing wraps fn only when a
+	// registry is enabled, so the disabled path is byte-for-byte the old loop;
+	// either way fn's computation — and thus every result — is untouched.
+	var pm poolMetrics
+	if telemetry.Enabled() {
+		pm = newPoolMetrics(workers)
+		fn = pm.timed(fn)
+		defer pm.finish(time.Now())
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -58,4 +71,41 @@ func Map(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// poolMetrics carries the counters of one Map call.
+type poolMetrics struct {
+	workers  int
+	tasks    *telemetry.Counter
+	busyNS   *telemetry.Counter
+	capNS    *telemetry.Counter
+	mapCalls *telemetry.Counter
+}
+
+func newPoolMetrics(workers int) poolMetrics {
+	telemetry.G("pool.workers").Set(float64(workers))
+	return poolMetrics{
+		workers:  workers,
+		tasks:    telemetry.C("pool.tasks"),
+		busyNS:   telemetry.C("pool.busy_ns"),
+		capNS:    telemetry.C("pool.capacity_ns"),
+		mapCalls: telemetry.C("pool.map_calls"),
+	}
+}
+
+// timed wraps fn to accumulate per-task busy time.
+func (m poolMetrics) timed(fn func(int)) func(int) {
+	return func(i int) {
+		start := time.Now()
+		fn(i)
+		m.busyNS.Add(time.Since(start).Nanoseconds())
+		m.tasks.Inc()
+	}
+}
+
+// finish records the call's capacity: wall time since start times the worker
+// count. Worker utilization is busy_ns / capacity_ns.
+func (m poolMetrics) finish(start time.Time) {
+	m.capNS.Add(time.Since(start).Nanoseconds() * int64(m.workers))
+	m.mapCalls.Inc()
 }

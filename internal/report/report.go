@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/feasibility"
+	"repro/internal/telemetry"
 )
 
 // barWidth is the character width of utilization bars.
@@ -120,11 +121,43 @@ func WriteViolations(w io.Writer, a *feasibility.Allocation) {
 	}
 }
 
-// Write produces the full report: utilization, strings, violations.
+// WriteTelemetry renders a telemetry snapshot: the raw instrument dump
+// followed by the derived ratios operators actually read — decode-memo hit
+// rate and worker-pool utilization — computed at print time from their
+// constituent counters. Empty snapshots print nothing.
+func WriteTelemetry(w io.Writer, snap telemetry.Snapshot) {
+	if snap.Empty() {
+		return
+	}
+	fmt.Fprintln(w, "telemetry:")
+	snap.WriteText(w)
+	hit := snap.Counter("heuristics.decode.memo_hit")
+	miss := snap.Counter("heuristics.decode.memo_miss")
+	busy := snap.Counter("pool.busy_ns")
+	capacity := snap.Counter("pool.capacity_ns")
+	if hit+miss > 0 || capacity > 0 {
+		fmt.Fprintln(w, "derived:")
+	}
+	if hit+miss > 0 {
+		fmt.Fprintf(w, "  %-42s %11.1f%%\n", "decode memo hit rate",
+			100*float64(hit)/float64(hit+miss))
+	}
+	if capacity > 0 {
+		fmt.Fprintf(w, "  %-42s %11.1f%%\n", "worker utilization",
+			100*float64(busy)/float64(capacity))
+	}
+}
+
+// Write produces the full report: utilization, strings, violations, and —
+// when telemetry is enabled — the instrument snapshot appendix.
 func Write(w io.Writer, a *feasibility.Allocation) {
 	WriteUtilization(w, a, 5)
 	fmt.Fprintln(w)
 	WriteStrings(w, a)
 	fmt.Fprintln(w)
 	WriteViolations(w, a)
+	if snap := telemetry.Capture(); !snap.Empty() {
+		fmt.Fprintln(w)
+		WriteTelemetry(w, snap)
+	}
 }

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/feasibility"
+	"repro/internal/telemetry"
 )
 
 // workEps treats remaining work below this as complete.
@@ -177,9 +178,29 @@ func Run(alloc *feasibility.Allocation, cfg Config) (*Result, error) {
 	if err := cfg.validate(alloc); err != nil {
 		return nil, err
 	}
+	span := telemetry.BeginSpan("sim.run")
 	s := newSimulator(alloc, cfg)
 	s.run()
-	return s.result(), nil
+	res := s.result()
+	// Counters are recorded once per run from the finished result, so the
+	// event loop itself carries no instrumentation cost.
+	if telemetry.Enabled() {
+		telemetry.C("sim.runs").Inc()
+		telemetry.C("sim.events").Add(int64(res.Events))
+		telemetry.C("sim.qos_violations").Add(int64(res.QoSViolations))
+		telemetry.C("sim.unfinished").Add(int64(res.Unfinished))
+		completed := 0
+		for k := range res.Strings {
+			completed += res.Strings[k].Completed
+		}
+		telemetry.C("sim.data_sets").Add(int64(completed))
+	}
+	span.End(
+		telemetry.F("events", float64(res.Events)),
+		telemetry.F("qos_violations", float64(res.QoSViolations)),
+		telemetry.F("duration", res.Duration),
+	)
+	return res, nil
 }
 
 // validate rejects unusable configurations with an error naming the bad

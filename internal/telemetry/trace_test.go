@@ -1,0 +1,120 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestJSONLTraceRoundTrip(t *testing.T) {
+	r := enabled(t)
+	var buf bytes.Buffer
+	sink := telemetry.NewJSONLSink(&buf)
+	r.SetSink(sink)
+
+	span := telemetry.BeginSpan("psg.trial")
+	if !span.Active() {
+		t.Fatal("span must be active while a sink is attached")
+	}
+	span.End(telemetry.F("iterations", 42), telemetry.F("evaluations", 126))
+	telemetry.EmitEvent("checkpoint", telemetry.F("run", 3))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := telemetry.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	sp := events[0]
+	if sp.Kind != "span" || sp.Name != "psg.trial" {
+		t.Errorf("span event = %+v", sp)
+	}
+	if sp.Dur < 0 {
+		t.Errorf("span duration %v, want >= 0", sp.Dur)
+	}
+	if sp.Attrs["iterations"] != 42 || sp.Attrs["evaluations"] != 126 {
+		t.Errorf("span attrs = %v", sp.Attrs)
+	}
+	ev := events[1]
+	if ev.Kind != "event" || ev.Name != "checkpoint" || ev.Attrs["run"] != 3 {
+		t.Errorf("point event = %+v", ev)
+	}
+	if ev.T < sp.T {
+		t.Errorf("event timestamps out of order: %v then %v", sp.T, ev.T)
+	}
+}
+
+func TestReadEventsSkipsBlankLinesAndReportsBadJSON(t *testing.T) {
+	in := strings.NewReader("{\"t\":1,\"kind\":\"event\",\"name\":\"a\"}\n\n{\"t\":2,\"kind\":\"event\",\"name\":\"b\"}\n")
+	events, err := telemetry.ReadEvents(in)
+	if err != nil || len(events) != 2 {
+		t.Fatalf("events=%d err=%v, want 2 events and no error", len(events), err)
+	}
+	bad := strings.NewReader("{\"t\":1,\"kind\":\"event\",\"name\":\"a\"}\nnot json\n")
+	events, err = telemetry.ReadEvents(bad)
+	if err == nil {
+		t.Fatal("bad line must error")
+	}
+	if len(events) != 1 {
+		t.Errorf("parser must keep the %d valid lines before the bad one, got %d", 1, len(events))
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q should name the offending line", err)
+	}
+}
+
+func TestSpanInertWithoutSink(t *testing.T) {
+	// Metrics on, tracing off: spans must be inert and free.
+	enabled(t)
+	if telemetry.Tracing() {
+		t.Fatal("no sink attached, Tracing() must be false")
+	}
+	span := telemetry.BeginSpan("x")
+	if span.Active() {
+		t.Fatal("span must be inert without a sink")
+	}
+	span.End(telemetry.F("ignored", 1))
+	if allocs := testing.AllocsPerRun(200, func() {
+		telemetry.BeginSpan("x").End()
+	}); allocs != 0 {
+		t.Errorf("inert span costs %v allocations, want 0", allocs)
+	}
+}
+
+func TestSinkAttachDetach(t *testing.T) {
+	r := enabled(t)
+	col := &telemetry.CollectorSink{}
+	r.SetSink(col)
+	if !telemetry.Tracing() {
+		t.Fatal("Tracing() must be true with a sink")
+	}
+	telemetry.EmitEvent("one")
+	r.SetSink(nil)
+	if telemetry.Tracing() {
+		t.Fatal("Tracing() must be false after detaching")
+	}
+	telemetry.EmitEvent("two") // dropped
+	got := col.Events()
+	if len(got) != 1 || got[0].Name != "one" {
+		t.Errorf("collector saw %+v, want just the first event", got)
+	}
+}
+
+func TestCollectorSinkCopiesEvents(t *testing.T) {
+	col := &telemetry.CollectorSink{}
+	col.Emit(telemetry.Event{Kind: "event", Name: "a"})
+	first := col.Events()
+	col.Emit(telemetry.Event{Kind: "event", Name: "b"})
+	if len(first) != 1 {
+		t.Errorf("earlier snapshot grew to %d events; Events must copy", len(first))
+	}
+	if got := col.Events(); len(got) != 2 || got[1].Name != "b" {
+		t.Errorf("collector = %+v", got)
+	}
+}

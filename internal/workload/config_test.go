@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestConfigWithDefaults(t *testing.T) {
+	var zero Config
+	got := zero.WithDefaults()
+	want := ScenarioConfig(HighlyLoaded)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("zero.WithDefaults() = %+v, want scenario-1 defaults %+v", got, want)
+	}
+	if !reflect.DeepEqual(zero, Config{}) {
+		t.Error("WithDefaults mutated its receiver")
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("defaulted config must validate: %v", err)
+	}
+}
+
+func TestConfigWithDefaultsKeepsExplicitFields(t *testing.T) {
+	partial := Config{
+		Machines:  5,
+		Bandwidth: Range{Min: 2, Max: 3},
+		// Worth overrides must travel as a pair: setting only the levels is
+		// kept as-is (and fails Validate), never silently re-weighted.
+		WorthLevels:   []float64{1, 2},
+		WorthWeights:  []float64{0.5, 0.5},
+		Heterogeneity: Consistent,
+	}
+	got := partial.WithDefaults()
+	if got.Machines != 5 {
+		t.Errorf("machines = %d, want the explicit 5", got.Machines)
+	}
+	if got.Bandwidth != (Range{Min: 2, Max: 3}) {
+		t.Errorf("bandwidth = %+v, want the explicit range", got.Bandwidth)
+	}
+	if !reflect.DeepEqual(got.WorthLevels, []float64{1, 2}) {
+		t.Errorf("worth levels = %v, want the explicit pair", got.WorthLevels)
+	}
+	if got.Heterogeneity != Consistent {
+		t.Errorf("heterogeneity = %v, want Consistent", got.Heterogeneity)
+	}
+	d := ScenarioConfig(HighlyLoaded)
+	if got.Strings != d.Strings || got.MuLatency != d.MuLatency {
+		t.Errorf("zero fields not defaulted: %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("defaulted config must validate: %v", err)
+	}
+	if _, err := Generate(got, 1); err != nil {
+		t.Errorf("defaulted config must generate: %v", err)
+	}
+}

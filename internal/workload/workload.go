@@ -140,6 +140,52 @@ func ScenarioConfig(s Scenario) Config {
 	return cfg
 }
 
+// WithDefaults returns a copy of the configuration with every zero-valued
+// field replaced by its Section 6 default — the HighlyLoaded scenario preset
+// (12 machines, 150 strings, up to 10 applications per string, the paper's
+// uniform sampling ranges, equal-weight worth levels {1,10,100}, and the
+// Table 1 µ ranges of scenario 1). A zero Range counts as unset; the zero
+// Heterogeneity already means Inconsistent, the paper's model. Value
+// receiver — the original is never mutated. Matches the Validate/WithDefaults
+// pattern shared by genitor.Config, heuristics.PSGConfig, and
+// experiments.Options.
+func (c Config) WithDefaults() Config {
+	d := ScenarioConfig(HighlyLoaded)
+	if c.Machines == 0 {
+		c.Machines = d.Machines
+	}
+	if c.Strings == 0 {
+		c.Strings = d.Strings
+	}
+	if c.MaxAppsPerString == 0 {
+		c.MaxAppsPerString = d.MaxAppsPerString
+	}
+	zero := Range{}
+	if c.Bandwidth == zero {
+		c.Bandwidth = d.Bandwidth
+	}
+	if c.NominalTime == zero {
+		c.NominalTime = d.NominalTime
+	}
+	if c.NominalUtil == zero {
+		c.NominalUtil = d.NominalUtil
+	}
+	if c.OutputKB == zero {
+		c.OutputKB = d.OutputKB
+	}
+	if c.MuLatency == zero {
+		c.MuLatency = d.MuLatency
+	}
+	if c.MuPeriod == zero {
+		c.MuPeriod = d.MuPeriod
+	}
+	if len(c.WorthLevels) == 0 && len(c.WorthWeights) == 0 {
+		c.WorthLevels = append([]float64(nil), d.WorthLevels...)
+		c.WorthWeights = append([]float64(nil), d.WorthWeights...)
+	}
+	return c
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	switch {

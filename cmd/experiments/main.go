@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|timing|robustness|bias|seeding|population|worthmix|ssg|termination|heterogeneity|relaxation|worthscheme|dynamic|chaos|phasing|pooling|table1|all")
+		exp       = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|timing|robustness|bias|seeding|population|worthmix|ssg|termination|heterogeneity|relaxation|worthscheme|dynamic|chaos|overload|phasing|pooling|table1|all")
 		runs      = flag.Int("runs", 10, "simulation runs per experiment (paper: 100)")
 		seed      = flag.Int64("seed", 1, "base RNG seed")
 		strings_  = flag.Int("strings", 0, "override string count (0 = paper value)")
@@ -178,6 +178,17 @@ func run(ctx context.Context, exp string, runs int, seed int64, stringsOverride,
 		res, err := experiments.RunChaosStudyContext(ctx, opts, nil)
 		if errors.Is(err, experiments.ErrCanceled) {
 			fmt.Fprintf(os.Stderr, "experiments: chaos study interrupted; reporting %d completed runs\n", res.Runs)
+		} else {
+			fatal(err)
+		}
+		res.WriteTable(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if all || exp == "overload" {
+		res, err := experiments.RunOverloadStudyContext(ctx, opts, nil)
+		if errors.Is(err, experiments.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "experiments: overload study interrupted; reporting %d completed runs\n", res.Runs)
 		} else {
 			fatal(err)
 		}

@@ -15,6 +15,13 @@
 // -simulate, replays the failure trace against the original allocation in the
 // discrete-event simulator.
 //
+// Surge mode: -surge loads a JSON demand-surge scenario (see internal/overload)
+// and runs the worth-aware degradation controller over its timeline, shedding
+// and re-admitting strings inside the -shed-below/-readmit-above hysteresis
+// band. Combined with -faults the controller walks outages and surges on one
+// timeline; combined with -simulate the surge also scales the replayed
+// workload.
+//
 // Examples:
 //
 //	shipsched -scenario 2 -seed 7 -heuristic SeededPSG -psg-iters 500
@@ -22,10 +29,12 @@
 //	shipsched -in system.json -heuristic TF -dump
 //	shipsched -scenario 3 -heuristic MWF -fail-machines 2,5
 //	shipsched -scenario 3 -heuristic MWF -faults examples/survivability/compartment.json -simulate
+//	shipsched -scenario 3 -heuristic MWF -surge examples/overload/surge.json -simulate
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +49,7 @@ import (
 	"repro/internal/feasibility"
 	"repro/internal/heuristics"
 	"repro/internal/model"
+	"repro/internal/overload"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -63,8 +73,14 @@ func main() {
 		dump      = flag.Bool("dump", false, "print the full application-to-machine mapping")
 		faultFile = flag.String("faults", "", "load a JSON failure scenario and run the failover analysis")
 		failMach  = flag.String("fail-machines", "", "comma-separated machines hit by permanent compartment losses")
+		surgeFile = flag.String("surge", "", "load a JSON demand-surge scenario and run the degradation controller")
+		shedBelow = flag.Float64("shed-below", 0, "degradation controller: shed while slackness is below this")
+		readmitAb = flag.Float64("readmit-above", 0, "degradation controller: re-admit shed strings only above this slackness (0 = default 0.05)")
 		metrics   = flag.Bool("metrics", false, "collect telemetry and print the instrument snapshot")
 		traceFile = flag.String("trace", "", "write a JSONL span/event trace to this file (implies -metrics)")
+		ckptFile  = flag.String("checkpoint", "", "write an interrupted search's full state to this JSON file (resume with -resume)")
+		resume    = flag.String("resume", "", "resume an interrupted search from a checkpoint file; the system and search configuration come from the file")
+		deadline  = flag.Duration("trial-deadline", 0, "wall-clock budget per GENITOR trial (e.g. 30s); expired trials stop resumably — combine with -checkpoint")
 	)
 	flag.Parse()
 
@@ -86,21 +102,41 @@ func main() {
 		}
 	}
 
-	sys, err := loadSystem(*inFile, *scenario, *seed, *strings_)
-	fatal(err)
-	if *saveFile != "" {
-		fatal(sys.SaveFile(*saveFile))
-		fmt.Printf("saved system to %s\n", *saveFile)
+	var (
+		sys   *model.System
+		r     *heuristics.Result
+		scp   *heuristics.SearchCheckpoint
+		start time.Time
+		err   error
+	)
+	if *resume != "" {
+		cpf, ferr := loadCheckpoint(*resume)
+		fatal(ferr)
+		sys = cpf.System
+		// The resume-time flags own the trial deadline; the default (0)
+		// clears a deadline stored by the interrupted run, so a plain
+		// -resume runs to completion.
+		cpf.Search.Config.Deadline = *deadline
+		fmt.Printf("resuming %s search from %s (%d/%d trials unfinished)\n",
+			cpf.Search.Heuristic, *resume, cpf.Search.Interrupted(), len(cpf.Search.Trials))
+		start = time.Now()
+		r, scp, err = heuristics.ResumeSearch(ctx, sys, cpf.Search)
+	} else {
+		sys, err = loadSystem(*inFile, *scenario, *seed, *strings_)
+		fatal(err)
+		if *saveFile != "" {
+			fatal(sys.SaveFile(*saveFile))
+			fmt.Printf("saved system to %s\n", *saveFile)
+		}
+		cfg := heuristics.DefaultPSGConfig()
+		cfg.MaxIterations = *psgIters
+		cfg.Trials = *psgTrials
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		cfg.Deadline = *deadline
+		start = time.Now()
+		r, scp, err = heuristics.RunCheckpointed(ctx, *heuristic, sys, cfg)
 	}
-
-	cfg := heuristics.DefaultPSGConfig()
-	cfg.MaxIterations = *psgIters
-	cfg.Trials = *psgTrials
-	cfg.Seed = *seed
-	cfg.Workers = *workers
-
-	start := time.Now()
-	r, err := heuristics.RunContext(ctx, *heuristic, sys, cfg)
 	elapsed := time.Since(start)
 	canceled := errors.Is(err, heuristics.ErrCanceled)
 	if err != nil && !canceled {
@@ -108,6 +144,16 @@ func main() {
 	}
 	if canceled {
 		fmt.Println("interrupted: reporting the best partial mapping found so far")
+	}
+	if scp != nil {
+		if *ckptFile != "" {
+			fatal(saveCheckpoint(*ckptFile, sys, scp))
+			fmt.Printf("search interrupted with %d/%d trials unfinished; checkpoint written to %s\n",
+				scp.Interrupted(), len(scp.Trials), *ckptFile)
+		} else {
+			fmt.Printf("search interrupted with %d/%d trials unfinished (add -checkpoint FILE to make such runs resumable)\n",
+				scp.Interrupted(), len(scp.Trials))
+		}
 	}
 
 	fmt.Printf("system: %d machines, %d strings, %d applications, total worth %.0f\n",
@@ -132,8 +178,15 @@ func main() {
 		fatal(faultSc.ValidateFor(sys))
 		runFailover(r, faultSc)
 	}
+	var surgeSc *overload.Scenario
+	if *surgeFile != "" {
+		surgeSc, err = overload.LoadFile(*surgeFile)
+		fatal(err)
+		fatal(surgeSc.Validate(len(sys.Strings)))
+		runDegradation(r, surgeSc, faultSc, *shedBelow, *readmitAb)
+	}
 	if *simulate {
-		simCfg := sim.Config{Periods: *periods, WorkloadScale: *scale}
+		simCfg := sim.Config{Periods: *periods, WorkloadScale: *scale, Surge: surgeSc}
 		if faultSc != nil {
 			simCfg.Failures = faultSc.Sorted()
 		}
@@ -185,6 +238,44 @@ func main() {
 	}
 }
 
+// checkpointFile is the on-disk format of -checkpoint/-resume: the search
+// state plus the full system it ran against, so a resume needs nothing but
+// the file.
+type checkpointFile struct {
+	System *model.System                `json:"system"`
+	Search *heuristics.SearchCheckpoint `json:"search"`
+}
+
+func saveCheckpoint(path string, sys *model.System, scp *heuristics.SearchCheckpoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(checkpointFile{System: sys, Search: scp}); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func loadCheckpoint(path string) (*checkpointFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var cpf checkpointFile
+	if err := json.NewDecoder(f).Decode(&cpf); err != nil {
+		return nil, fmt.Errorf("decoding checkpoint %s: %w", path, err)
+	}
+	if cpf.System == nil || cpf.Search == nil {
+		return nil, fmt.Errorf("checkpoint %s is missing the system or search state", path)
+	}
+	return &cpf, nil
+}
+
 // loadFaults builds the failure scenario from -faults and/or -fail-machines.
 func loadFaults(faultFile, failMach string, machines int) (*faults.Scenario, error) {
 	var sc *faults.Scenario
@@ -228,6 +319,30 @@ func runFailover(r *heuristics.Result, sc *faults.Scenario) {
 		res.WorthAfter, res.WorthBefore, 100*res.Retained, res.CostSeconds, res.SlacknessAfter)
 	if !res.Feasible || dynamic.UsesFailed(alloc, down) {
 		fmt.Println("WARNING: failover left an infeasible or fault-exposed mapping (bug)")
+		os.Exit(1)
+	}
+}
+
+// runDegradation walks the surge timeline (optionally composed with the
+// failure scenario) with the worth-aware degradation controller and reports
+// its shed/re-admit record.
+func runDegradation(r *heuristics.Result, sc *overload.Scenario, faultSc *faults.Scenario, shedBelow, readmitAbove float64) {
+	ctl, err := overload.NewController(overload.Config{
+		ShedBelow:    shedBelow,
+		ReadmitAbove: readmitAbove,
+		Faults:       faultSc,
+	})
+	fatal(err)
+	res, err := ctl.Run(r.Alloc, r.Mapped, sc)
+	fatal(err)
+	fmt.Printf("\ndegradation: surge %q, %d events over a %.0f s horizon\n",
+		sc.Name, len(sc.Events), sc.Horizon())
+	fmt.Printf("actions: %d shed, %d re-admitted, %d migrated   time over capacity: %.1f s\n",
+		res.Shed, res.Readmitted, res.Migrated, res.TimeOverCapacity)
+	fmt.Printf("worth retained: %.0f/%.0f (%.1f%%, trough %.1f%%)   slackness after: %.4f\n",
+		res.WorthAfter, res.WorthBefore, 100*res.Retained, 100*res.MinRetained, res.SlacknessAfter)
+	if !res.Feasible {
+		fmt.Println("WARNING: degradation controller left an infeasible mapping (bug)")
 		os.Exit(1)
 	}
 }

@@ -9,6 +9,7 @@
 package dynamic
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -18,6 +19,12 @@ import (
 	"repro/internal/model"
 	"repro/internal/telemetry"
 )
+
+// ErrUnknownResource is the sentinel wrapped by Survive when the failure
+// scenario references a machine or route the system does not have (an outage
+// set sized for a different suite). Callers distinguish it with
+// errors.Is(err, ErrUnknownResource) instead of parsing the message.
+var ErrUnknownResource = errors.New("unknown machine or route")
 
 // repairer carries the shared migrate/evict/reclaim machinery behind Repair
 // (no resource mask) and Survive (failed resources masked out). It mutates
@@ -224,7 +231,8 @@ func (r *repairer) result() *Result {
 func Survive(alloc *feasibility.Allocation, mapped []bool, down *faults.Set) (*Result, error) {
 	sys := alloc.System()
 	if down.Machines() != sys.Machines {
-		return nil, fmt.Errorf("dynamic: outage set covers %d machines, system has %d", down.Machines(), sys.Machines)
+		return nil, fmt.Errorf("dynamic: outage set covers %d machines, system has %d: %w",
+			down.Machines(), sys.Machines, ErrUnknownResource)
 	}
 	if len(mapped) != len(sys.Strings) {
 		return nil, fmt.Errorf("dynamic: %d mapped flags for %d strings", len(mapped), len(sys.Strings))
@@ -274,6 +282,21 @@ func Survive(alloc *feasibility.Allocation, mapped []bool, down *faults.Set) (*R
 		telemetry.F("retained", res.Retained),
 	)
 	return res, nil
+}
+
+// SurviveScenario validates a failure scenario against the allocation's
+// system and runs Survive against the collapsed outage set of every resource
+// the scenario ever fails (the static planning view). Scenario events naming
+// a machine or route outside the suite are reported with ErrUnknownResource.
+func SurviveScenario(alloc *feasibility.Allocation, mapped []bool, sc *faults.Scenario) (*Result, error) {
+	sys := alloc.System()
+	if err := sc.Validate(sys.Machines); err != nil {
+		if errors.Is(err, faults.ErrOutOfRange) {
+			return nil, fmt.Errorf("dynamic: %w: %w", ErrUnknownResource, err)
+		}
+		return nil, fmt.Errorf("dynamic: %w", err)
+	}
+	return Survive(alloc, mapped, faults.SetFromScenario(sc, sys.Machines))
 }
 
 // StringUsesFailed reports whether completely mapped string k touches a

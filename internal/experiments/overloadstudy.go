@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/heuristics"
+	"repro/internal/overload"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// OverloadStudy (E21) is the demand-surge counterpart of the chaos study
+// (E19): instead of removing resources, it multiplies per-string demand with
+// seeded stochastic bursts and lets the worth-aware degradation controller
+// shed and re-admit strings on the surge timeline. Comparing initial
+// allocations from IMR (identity order), MWF, TF, and GENITOR (Seeded PSG)
+// under identical surge traces tests the slackness argument under workload
+// growth at runtime: the higher-slackness mapping should ride out more of
+// the surge before shedding, and retain more worth through it.
+type OverloadStudy struct {
+	Runs    int
+	Factors []float64
+	// Rows[heuristic][factorIndex].
+	Rows map[string][]OverloadPoint
+	// InitialSlackness per heuristic.
+	InitialSlackness map[string]*stats.Sample
+}
+
+// OverloadHeuristics are the initial-allocation policies the study compares —
+// the same panel as the chaos study.
+var OverloadHeuristics = []string{"IMR", "MWF", "TF", "GENITOR"}
+
+// OverloadPoint aggregates one (heuristic, peak surge factor) cell.
+type OverloadPoint struct {
+	MaxFactor   float64
+	Retained    stats.Sample // worth retained at the end of the timeline, in [0, 1]
+	MinRetained stats.Sample // worth trough during the surge
+	Slackness   stats.Sample // post-surge slackness
+	Shed        stats.Sample // shed actions per scenario
+	Readmitted  stats.Sample // re-admissions per scenario
+	OverTime    stats.Sample // seconds the carried allocation was over capacity
+}
+
+// RunOverloadStudy executes E21 on scenario-3 instances. factors defaults to
+// peak burst factors {1.5, 2, 3, 4}.
+func RunOverloadStudy(opts Options, factors []float64) (*OverloadStudy, error) {
+	return RunOverloadStudyContext(context.Background(), opts, factors)
+}
+
+// RunOverloadStudyContext is RunOverloadStudy with cooperative cancellation:
+// the context is polled between runs (and threaded into the GENITOR
+// searches), so a canceled context returns the whole runs completed so far
+// together with ErrCanceled.
+func RunOverloadStudyContext(ctx context.Context, opts Options, factors []float64) (*OverloadStudy, error) {
+	opts = opts.WithDefaults()
+	if len(factors) == 0 {
+		factors = []float64{1.5, 2, 3, 4}
+	}
+	out := &OverloadStudy{
+		Runs:             opts.Runs,
+		Factors:          factors,
+		Rows:             map[string][]OverloadPoint{},
+		InitialSlackness: map[string]*stats.Sample{},
+	}
+	for _, n := range OverloadHeuristics {
+		pts := make([]OverloadPoint, len(factors))
+		for i, f := range factors {
+			pts[i].MaxFactor = f
+		}
+		out.Rows[n] = pts
+		out.InitialSlackness[n] = &stats.Sample{}
+	}
+	ctl, err := overload.NewController(overload.Config{})
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.scenarioConfig(workload.LightlyLoaded)
+	done := ctx.Done()
+	for run := 0; run < opts.Runs; run++ {
+		canceled := false
+		if done != nil {
+			select {
+			case <-done:
+				canceled = true
+			default:
+			}
+		}
+		if canceled {
+			out.Runs = run
+			return out, ErrCanceled
+		}
+		seed := opts.Seed + int64(run)
+		sys, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		// Build every initial allocation before recording any sample, so a
+		// cancellation mid-run never leaves the study with a lopsided run.
+		initial := map[string]*heuristics.Result{}
+		for _, name := range OverloadHeuristics {
+			var r *heuristics.Result
+			switch name {
+			case "IMR":
+				order := make([]int, len(sys.Strings))
+				for i := range order {
+					order[i] = i
+				}
+				r = heuristics.MapSequence(sys, order)
+			case "GENITOR":
+				pcfg := opts.PSG
+				pcfg.Seed = seed * 7919
+				r, err = heuristics.RunContext(ctx, "SeededPSG", sys, pcfg)
+			default:
+				r, err = heuristics.RunContext(ctx, name, sys, opts.PSG)
+			}
+			if err != nil {
+				out.Runs = run
+				return out, ErrCanceled
+			}
+			initial[name] = r
+		}
+		for _, name := range OverloadHeuristics {
+			out.InitialSlackness[name].Add(initial[name].Metric.Slackness)
+		}
+		for fi, f := range factors {
+			burst := overload.DefaultBurst()
+			burst.MaxFactor = f
+			// One surge trace per (run, factor) cell, shared verbatim across
+			// the heuristics so they face identical demand timelines.
+			sc, err := burst.Sample(len(sys.Strings), seed*1000003+int64(fi))
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range OverloadHeuristics {
+				res, err := ctl.Run(initial[name].Alloc, initial[name].Mapped, sc)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Feasible {
+					return nil, fmt.Errorf("experiments: overload run %d: %s left infeasible after surge factor %v", run, name, f)
+				}
+				pt := &out.Rows[name][fi]
+				pt.Retained.Add(res.Retained)
+				pt.MinRetained.Add(res.MinRetained)
+				pt.Slackness.Add(res.SlacknessAfter)
+				pt.Shed.Add(float64(res.Shed))
+				pt.Readmitted.Add(float64(res.Readmitted))
+				pt.OverTime.Add(res.TimeOverCapacity)
+			}
+		}
+		if telemetry.Enabled() {
+			telemetry.C("experiments.overload_runs").Inc()
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "overload study: run %d/%d done\n", run+1, opts.Runs)
+		}
+	}
+	return out, nil
+}
+
+// WriteTable renders the overload study: worth retained (final and trough)
+// and post-surge slackness versus the peak surge factor.
+func (c *OverloadStudy) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Study E21: worth-aware degradation under demand surges (scenario 3, %d runs)\n", c.Runs)
+	for _, name := range OverloadHeuristics {
+		fmt.Fprintf(w, "%s (initial slackness %s):\n", name, c.InitialSlackness[name].String())
+		fmt.Fprintf(w, "  %6s  %22s  %14s  %22s  %6s  %9s  %10s\n",
+			"factor", "retained worth", "worth trough", "slackness after", "shed", "readmits", "over-cap s")
+		for _, pt := range c.Rows[name] {
+			fmt.Fprintf(w, "  %6.2f  %22s  %14.3f  %22s  %6.2f  %9.2f  %10.2f\n",
+				pt.MaxFactor, pt.Retained.String(), pt.MinRetained.Mean(), pt.Slackness.String(),
+				pt.Shed.Mean(), pt.Readmitted.Mean(), pt.OverTime.Mean())
+		}
+	}
+}

@@ -19,6 +19,7 @@ package faults
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -60,16 +61,21 @@ func (r Resource) String() string {
 	return fmt.Sprintf("route %d->%d", r.From, r.To)
 }
 
+// ErrOutOfRange is the sentinel wrapped by resource validation errors when a
+// scenario names a machine or route outside the suite; callers (e.g.
+// dynamic.SurviveScenario) test it with errors.Is.
+var ErrOutOfRange = errors.New("resource out of range")
+
 // validate checks the resource against a suite of m machines.
 func (r Resource) validate(m int) error {
 	switch r.Kind {
 	case MachineResource:
 		if r.Machine < 0 || r.Machine >= m {
-			return fmt.Errorf("faults: machine %d out of range [0,%d)", r.Machine, m)
+			return fmt.Errorf("faults: machine %d out of range [0,%d): %w", r.Machine, m, ErrOutOfRange)
 		}
 	case RouteResource:
 		if r.From < 0 || r.From >= m || r.To < 0 || r.To >= m {
-			return fmt.Errorf("faults: route %d->%d out of range [0,%d)", r.From, r.To, m)
+			return fmt.Errorf("faults: route %d->%d out of range [0,%d): %w", r.From, r.To, m, ErrOutOfRange)
 		}
 		if r.From == r.To {
 			return fmt.Errorf("faults: route %d->%d is intra-machine and cannot fail", r.From, r.To)
@@ -84,6 +90,9 @@ func (r Resource) validate(m int) error {
 // simulated time) and comes back up after Duration seconds. Duration <= 0
 // means the outage is permanent — the resource is never repaired.
 type Event struct {
+	// ID optionally names the event; scenario files with IDs are checked for
+	// duplicates when loaded (ReadJSON/LoadFile reject them per event).
+	ID       string   `json:"id,omitempty"`
 	Resource Resource `json:"resource"`
 	At       float64  `json:"at"`
 	Duration float64  `json:"duration,omitempty"`
@@ -112,20 +121,24 @@ type Scenario struct {
 }
 
 // Validate checks every event against a suite of m machines. Event times must
-// be finite and non-negative; durations must be finite.
+// be finite and non-negative, durations finite, and non-empty event IDs
+// unique; each failure is reported with a per-event error.
 func (sc *Scenario) Validate(m int) error {
 	for idx, e := range sc.Events {
 		if err := e.Resource.validate(m); err != nil {
 			return fmt.Errorf("faults: event %d: %w", idx, err)
 		}
-		if e.At < 0 || math.IsNaN(e.At) || math.IsInf(e.At, 0) {
-			return fmt.Errorf("faults: event %d (%v): at = %v, want finite non-negative", idx, e.Resource, e.At)
-		}
-		if math.IsNaN(e.Duration) || math.IsInf(e.Duration, 0) {
-			return fmt.Errorf("faults: event %d (%v): duration = %v, want finite", idx, e.Resource, e.Duration)
-		}
 	}
-	return nil
+	return sc.validateStructure()
+}
+
+// EventsOrNil returns the scenario's events; nil-safe, for callers holding an
+// optional scenario.
+func (sc *Scenario) EventsOrNil() []Event {
+	if sc == nil {
+		return nil
+	}
+	return sc.Events
 }
 
 // ValidateFor checks the scenario against a concrete system.
@@ -178,14 +191,42 @@ func (sc *Scenario) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// ReadJSON parses a scenario from JSON. Callers validate against their system
-// with ValidateFor (the machine count is not part of the scenario file).
+// ReadJSON parses a scenario from JSON and applies the structural checks that
+// need no machine count: event times must be finite and non-negative,
+// durations finite, and non-empty event IDs unique — each rejected with a
+// per-event error instead of loading silently. Callers still validate
+// resource ranges against their system with ValidateFor (the machine count is
+// not part of the scenario file).
 func ReadJSON(r io.Reader) (*Scenario, error) {
 	var sc Scenario
 	if err := json.NewDecoder(r).Decode(&sc); err != nil {
 		return nil, fmt.Errorf("faults: decoding scenario: %w", err)
 	}
+	if err := sc.validateStructure(); err != nil {
+		return nil, err
+	}
 	return &sc, nil
+}
+
+// validateStructure runs the machine-count-independent event checks shared by
+// ReadJSON and Validate.
+func (sc *Scenario) validateStructure() error {
+	seen := make(map[string]int)
+	for idx, e := range sc.Events {
+		if e.At < 0 || math.IsNaN(e.At) || math.IsInf(e.At, 0) {
+			return fmt.Errorf("faults: event %d (%v): at = %v, want finite non-negative", idx, e.Resource, e.At)
+		}
+		if math.IsNaN(e.Duration) || math.IsInf(e.Duration, 0) {
+			return fmt.Errorf("faults: event %d (%v): duration = %v, want finite", idx, e.Resource, e.Duration)
+		}
+		if e.ID != "" {
+			if prev, dup := seen[e.ID]; dup {
+				return fmt.Errorf("faults: event %d (%v): duplicate id %q (first used by event %d)", idx, e.Resource, e.ID, prev)
+			}
+			seen[e.ID] = idx
+		}
+	}
+	return nil
 }
 
 // SaveFile writes the scenario to path as JSON.

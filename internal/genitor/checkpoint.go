@@ -1,0 +1,226 @@
+package genitor
+
+// checkpoint.go makes a GENITOR run killable: the complete search state —
+// configuration, population, counters, and the exact position in the seeded
+// random stream — serializes to JSON, and Restore rebuilds an engine that
+// continues bit-identically to the run that was interrupted. The trick is the
+// random stream: *rand.Rand state is not serializable, but every draw the
+// engine makes advances the underlying source by a fixed number of internal
+// steps, so a counting wrapper around the source records the position and
+// Restore replays it by burning the same number of draws from the same seed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+)
+
+// countingSource wraps a seeded math/rand source and counts every draw. Both
+// Int63 and Uint64 advance the underlying generator by exactly one internal
+// step, so the count alone pins the stream position regardless of which
+// methods rand.Rand dispatched to.
+type countingSource struct {
+	src   rand.Source64
+	calls uint64
+}
+
+// newCountingSource returns a counting wrapper around the standard seeded
+// source.
+func newCountingSource(seed int64) *countingSource {
+	// rand.NewSource's concrete type has implemented Source64 since Go 1.8;
+	// the assertion cannot fail for the standard source.
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.calls++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.calls++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.calls = 0
+	s.src.Seed(seed)
+}
+
+// Chromosome is one serialized population member.
+type Chromosome struct {
+	Perm    []int   `json:"perm"`
+	Fitness Fitness `json:"fitness"`
+}
+
+// Checkpoint is the complete serializable state of an engine between
+// iterations: restore it with Restore and the continued run is bit-identical
+// to one that was never interrupted. Fitness values are stored, not
+// re-evaluated, so restoring does not need the evaluator to be cheap — but it
+// does need the evaluator to be the same pure function, or the stored
+// fitnesses and the continued search would disagree.
+type Checkpoint struct {
+	// Version guards the format; CheckpointVersion is the only one written.
+	Version int `json:"version"`
+	// Config is the engine configuration, including the seed the random
+	// stream is replayed from.
+	Config Config `json:"config"`
+	// Genes is the chromosome length.
+	Genes int `json:"genes"`
+	// Population is the rank-sorted population, best first.
+	Population []Chromosome `json:"population"`
+	// Iterations and Evaluations are the counters accumulated so far.
+	Iterations  int `json:"iterations"`
+	Evaluations int `json:"evaluations"`
+	// Stall is the elite-stall counter at the checkpoint.
+	Stall int `json:"stall"`
+	// RandCalls is the number of draws consumed from the seeded source;
+	// Restore burns this many draws to re-align the stream.
+	RandCalls uint64 `json:"rand_calls"`
+}
+
+// CheckpointVersion is the checkpoint format written by Engine.Checkpoint.
+const CheckpointVersion = 1
+
+// Checkpoint captures the engine's complete state at an iteration boundary.
+// The copy is deep: the engine can keep running without disturbing it.
+func (e *Engine) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Version:     CheckpointVersion,
+		Config:      e.cfg,
+		Genes:       e.n,
+		Population:  make([]Chromosome, 0, len(e.pop)),
+		Iterations:  e.stats.Iterations,
+		Evaluations: e.stats.Evaluations,
+		Stall:       e.stall,
+		RandCalls:   e.src.calls,
+	}
+	for _, m := range e.pop {
+		cp.Population = append(cp.Population, Chromosome{
+			Perm:    append([]int(nil), m.perm...),
+			Fitness: m.fitness,
+		})
+	}
+	return cp
+}
+
+// Validate reports structural errors in a checkpoint: version, configuration,
+// population size, permutation integrity, and rank order are all checked, so
+// a corrupt or hand-edited file fails loudly instead of resuming a nonsense
+// search.
+func (cp *Checkpoint) Validate() error {
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("genitor: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	if err := cp.Config.Validate(); err != nil {
+		return fmt.Errorf("genitor: checkpoint config: %w", err)
+	}
+	if cp.Genes < 1 {
+		return fmt.Errorf("genitor: checkpoint chromosome length %d, want >= 1", cp.Genes)
+	}
+	if len(cp.Population) != cp.Config.PopulationSize {
+		return fmt.Errorf("genitor: checkpoint population %d, config wants %d",
+			len(cp.Population), cp.Config.PopulationSize)
+	}
+	for i, c := range cp.Population {
+		if !IsPermutation(c.Perm, cp.Genes) {
+			return fmt.Errorf("genitor: checkpoint member %d is not a permutation of %d genes", i, cp.Genes)
+		}
+		if i > 0 && c.Fitness.Better(cp.Population[i-1].Fitness) {
+			return fmt.Errorf("genitor: checkpoint population not rank-sorted at member %d", i)
+		}
+	}
+	if cp.Iterations < 0 || cp.Evaluations < 0 || cp.Stall < 0 {
+		return fmt.Errorf("genitor: checkpoint counters negative (iterations %d, evaluations %d, stall %d)",
+			cp.Iterations, cp.Evaluations, cp.Stall)
+	}
+	return nil
+}
+
+// Restore rebuilds an engine from a checkpoint so RunContext continues the
+// interrupted search bit-identically: the population and counters are copied
+// back, and the random stream is re-seeded from the checkpointed seed and
+// fast-forwarded by the recorded number of draws. The evaluator lanes must
+// compute the same pure fitness function as the original run (lane count is
+// free to differ — it never affects results). Stored fitnesses are trusted,
+// not re-evaluated.
+func Restore(cp *Checkpoint, lanes []Evaluator) (*Engine, error) {
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	if len(lanes) < 1 {
+		return nil, fmt.Errorf("genitor: no evaluator lanes")
+	}
+	for i, l := range lanes {
+		if l == nil {
+			return nil, fmt.Errorf("genitor: evaluator lane %d is nil", i)
+		}
+	}
+	src := newCountingSource(cp.Config.Seed)
+	for i := uint64(0); i < cp.RandCalls; i++ {
+		src.src.Int63() // burn without counting; the count is set below
+	}
+	src.calls = cp.RandCalls
+	e := &Engine{
+		cfg:   cp.Config,
+		n:     cp.Genes,
+		lanes: lanes,
+		src:   src,
+		rng:   rand.New(src),
+		pop:   make([]member, 0, len(cp.Population)),
+		stats: Stats{Iterations: cp.Iterations, Evaluations: cp.Evaluations},
+		stall: cp.Stall,
+		tel:   newEngineTelemetry(),
+	}
+	for _, c := range cp.Population {
+		e.pop = append(e.pop, member{perm: append([]int(nil), c.Perm...), fitness: c.Fitness})
+	}
+	return e, nil
+}
+
+// WriteJSON serializes the checkpoint as indented JSON.
+func (cp *Checkpoint) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cp); err != nil {
+		return fmt.Errorf("genitor: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint parses and validates a checkpoint from JSON.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("genitor: decoding checkpoint: %w", err)
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
+// SaveFile writes the checkpoint to path as JSON.
+func (cp *Checkpoint) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("genitor: %w", err)
+	}
+	defer f.Close()
+	if err := cp.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpointFile reads a checkpoint from a JSON file.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("genitor: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

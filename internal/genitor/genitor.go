@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -66,6 +67,13 @@ type Config struct {
 	StallLimit int
 	// Seed makes the run reproducible.
 	Seed int64
+	// Deadline bounds the wall clock of one Run/RunContext call; zero means
+	// unbounded. The budget is measured from RunContext entry, so a restored
+	// engine (see Checkpoint/Restore) gets a fresh budget each time it is
+	// resumed instead of immediately re-expiring. A deadline stop happens at
+	// an iteration boundary and is resumable: the search state is intact and
+	// a later RunContext call continues bit-identically.
+	Deadline time.Duration
 }
 
 // DefaultConfig returns the paper's GENITOR parameters.
@@ -109,6 +117,9 @@ func (c Config) Validate() error {
 	if c.StallLimit <= 0 {
 		return fmt.Errorf("genitor: stall limit %d, want > 0", c.StallLimit)
 	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("genitor: deadline %v, want >= 0", c.Deadline)
+	}
 	return nil
 }
 
@@ -120,6 +131,10 @@ const (
 	// StopCanceled is reported by RunContext when the context ended the run
 	// early; the engine still returns its best-so-far chromosome.
 	StopCanceled = "canceled"
+	// StopDeadline is reported when Config.Deadline expired. Like
+	// StopCanceled it is a resumable stop: the engine state is intact, so a
+	// checkpointed run can continue where it left off.
+	StopDeadline = "deadline"
 )
 
 // Stats describes how a run ended.
@@ -138,14 +153,16 @@ type member struct {
 // or NewBatch (concurrent candidate evaluation across evaluator lanes), then
 // call Run (or Step repeatedly for fine-grained control).
 type Engine struct {
-	cfg   Config
-	n     int         // genes per chromosome
-	lanes []Evaluator // one per concurrent evaluation lane; lanes[0] is canonical
-	rng   *rand.Rand
-	pop   []member // sorted best-first
-	stats Stats
-	stall int
-	tel   engineTelemetry
+	cfg     Config
+	n       int         // genes per chromosome
+	lanes   []Evaluator // one per concurrent evaluation lane; lanes[0] is canonical
+	src     *countingSource
+	rng     *rand.Rand
+	pop     []member // sorted best-first
+	stats   Stats
+	stall   int
+	started time.Time // set at RunContext entry; anchors the deadline budget
+	tel     engineTelemetry
 }
 
 // engineTelemetry caches the GENITOR counters once per engine; all fields are
@@ -212,11 +229,13 @@ func NewBatch(cfg Config, n int, seeds [][]int, lanes []Evaluator) (*Engine, err
 			return nil, fmt.Errorf("genitor: evaluator lane %d is nil", i)
 		}
 	}
+	src := newCountingSource(cfg.Seed)
 	e := &Engine{
 		cfg:   cfg,
 		n:     n,
 		lanes: lanes,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		src:   src,
+		rng:   rand.New(src),
 		pop:   make([]member, 0, cfg.PopulationSize),
 		tel:   newEngineTelemetry(),
 	}
@@ -271,6 +290,13 @@ func (e *Engine) evalAll(perms [][]int) []Fitness {
 	wg.Wait()
 	return out
 }
+
+// SetDeadline replaces the engine's per-call wall-clock budget (zero
+// disables it). The deadline never affects the search trajectory — only when
+// a RunContext call stops — so changing it between runs preserves
+// bit-identical results. Restored engines get the deadline of the resuming
+// configuration this way rather than the one frozen in the checkpoint.
+func (e *Engine) SetDeadline(d time.Duration) { e.cfg.Deadline = d }
 
 // Best returns a copy of the elite chromosome and its fitness.
 func (e *Engine) Best() ([]int, Fitness) {
@@ -381,8 +407,10 @@ func (e *Engine) converged() bool {
 // multiple lanes) and then offered for insertion in a fixed order. Selecting
 // the mutation parent before the offspring are inserted is what makes the
 // batch well-defined — all candidates derive from the same population
-// snapshot — and keeps results independent of the lane count. Reports whether
-// the elite changed.
+// snapshot — and keeps results independent of the lane count. The elite-stall
+// counter is maintained here, so Step is the complete state transition and a
+// Checkpoint taken between any two Steps captures the full search state.
+// Reports whether the elite changed.
 func (e *Engine) Step() bool {
 	p1 := e.selectRank()
 	p2 := e.selectRank()
@@ -411,6 +439,11 @@ func (e *Engine) Step() bool {
 	}
 	e.stats.Iterations++
 	e.tel.steps.Inc()
+	if eliteChanged {
+		e.stall = 0
+	} else {
+		e.stall++
+	}
 	return eliteChanged
 }
 
@@ -420,11 +453,16 @@ func (e *Engine) Run() ([]int, Fitness, Stats) {
 	return e.RunContext(context.Background())
 }
 
-// RunContext is Run with cooperative cancellation: the context is polled
-// before every iteration, and a canceled context stops the search with
-// StopCanceled while still returning the best chromosome found so far (a
-// partial but usable result). With context.Background() it is exactly Run.
+// RunContext is Run with cooperative cancellation and an optional per-call
+// deadline: the context is polled before every iteration, and a canceled
+// context stops the search with StopCanceled while still returning the best
+// chromosome found so far (a partial but usable result). With a positive
+// Config.Deadline the wall clock is checked at the same cadence and expiry
+// stops the run with StopDeadline; the budget is measured from this call's
+// entry, so resuming a restored engine restarts the clock. With
+// context.Background() and no deadline it is exactly Run.
 func (e *Engine) RunContext(ctx context.Context) ([]int, Fitness, Stats) {
+	e.started = time.Now()
 	done := ctx.Done()
 	for {
 		if done != nil {
@@ -436,18 +474,17 @@ func (e *Engine) RunContext(ctx context.Context) ([]int, Fitness, Stats) {
 			default:
 			}
 		}
+		if e.cfg.Deadline > 0 && time.Since(e.started) >= e.cfg.Deadline {
+			e.stats.StopReason = StopDeadline
+			break
+		}
 		if e.stats.Iterations >= e.cfg.MaxIterations {
 			e.stats.StopReason = StopMaxIterations
 			break
 		}
-		if e.Step() {
-			e.stall = 0
-		} else {
-			e.stall++
-			if e.stall >= e.cfg.StallLimit {
-				e.stats.StopReason = StopEliteStall
-				break
-			}
+		if !e.Step() && e.stall >= e.cfg.StallLimit {
+			e.stats.StopReason = StopEliteStall
+			break
 		}
 		if e.converged() {
 			e.stats.StopReason = StopConverged

@@ -1,0 +1,195 @@
+package heuristics
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// resultsIdentical compares two search results bit for bit: the followed
+// permutation, the mapped set, every machine assignment, the metric, and the
+// accumulated search counters.
+func resultsIdentical(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.Metric != want.Metric {
+		t.Fatalf("%s: metric %+v, want %+v", label, got.Metric, want.Metric)
+	}
+	if got.Iterations != want.Iterations || got.Evaluations != want.Evaluations ||
+		got.StopReason != want.StopReason {
+		t.Fatalf("%s: stats (%d it, %d ev, %q), want (%d it, %d ev, %q)", label,
+			got.Iterations, got.Evaluations, got.StopReason,
+			want.Iterations, want.Evaluations, want.StopReason)
+	}
+	for k := range want.Order {
+		if got.Order[k] != want.Order[k] {
+			t.Fatalf("%s: order %v, want %v", label, got.Order, want.Order)
+		}
+	}
+	sys := want.Alloc.System()
+	for k := range sys.Strings {
+		if got.Mapped[k] != want.Mapped[k] {
+			t.Fatalf("%s: mapped[%d] = %v, want %v", label, k, got.Mapped[k], want.Mapped[k])
+		}
+		for i := range sys.Strings[k].Apps {
+			if got.Alloc.Machine(k, i) != want.Alloc.Machine(k, i) {
+				t.Fatalf("%s: string %d app %d on machine %d, want %d", label,
+					k, i, got.Alloc.Machine(k, i), want.Alloc.Machine(k, i))
+			}
+		}
+	}
+}
+
+// TestResumeSearchMatchesUninterrupted: a search interrupted at the very
+// start (pre-canceled context), checkpointed through JSON, and resumed must
+// reproduce the uninterrupted run's final allocation bit for bit.
+func TestResumeSearchMatchesUninterrupted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sys := randomTestSystem(rng, 3, 8)
+	cfg := testPSGConfig(23)
+	cfg.Trials = 3
+
+	want, cp, err := RunCheckpointed(context.Background(), "SeededPSG", sys, cfg)
+	if err != nil || cp != nil {
+		t.Fatalf("uninterrupted run: err %v, checkpoint %v", err, cp)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, scp, err := RunCheckpointed(canceled, "SeededPSG", sys, cfg)
+	if !IsCanceled(err) {
+		t.Fatalf("canceled run error = %v, want ErrCanceled", err)
+	}
+	if scp == nil || scp.Interrupted() != cfg.Trials {
+		t.Fatalf("canceled run checkpoint = %+v, want %d interrupted trials", scp, cfg.Trials)
+	}
+
+	// Round-trip through JSON, as a killed process would.
+	var buf bytes.Buffer
+	if err := scp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scp, err = ReadSearchCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, cp2, err := ResumeSearch(context.Background(), sys, scp)
+	if err != nil || cp2 != nil {
+		t.Fatalf("resume: err %v, checkpoint %v", err, cp2)
+	}
+	resultsIdentical(t, "resumed-from-start", want, got)
+}
+
+// TestResumeSearchMidway: interrupt a longer search partway via a short
+// deadline and resume (repeatedly, if the resumed run is interrupted again);
+// the final result must match the uninterrupted run wherever the cuts land.
+func TestResumeSearchMidway(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sys := randomTestSystem(rng, 3, 10)
+	cfg := testPSGConfig(31)
+	cfg.Trials = 2
+	cfg.MaxIterations = 1500
+	cfg.StallLimit = 400
+
+	want, _, err := RunCheckpointed(context.Background(), "PSG", sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dcfg := cfg
+	dcfg.Deadline = time.Millisecond
+	got, scp, err := RunCheckpointed(context.Background(), "PSG", sys, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rounds := 0; scp != nil; rounds++ {
+		if rounds > 10_000 {
+			t.Fatal("resume loop did not converge")
+		}
+		got, scp, err = ResumeSearch(context.Background(), sys, scp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	resultsIdentical(t, "resumed-midway", want, got)
+}
+
+// TestSearchCheckpointValidate rejects checkpoints that do not match the
+// system or are structurally broken.
+func TestSearchCheckpointValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sys := randomTestSystem(rng, 3, 6)
+	cfg := testPSGConfig(3)
+	cfg.Trials = 2
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, scp, err := RunCheckpointed(canceled, "PSG", sys, cfg)
+	if !IsCanceled(err) || scp == nil {
+		t.Fatalf("setup: err %v, scp %v", err, scp)
+	}
+
+	other := randomTestSystem(rng, 4, 9)
+	if _, _, err := ResumeSearch(context.Background(), other, scp); err == nil {
+		t.Error("resume on a mismatched system succeeded")
+	}
+
+	scp.Heuristic = "MWF"
+	if err := scp.Validate(sys); err == nil {
+		t.Error("checkpoint for a non-checkpointable heuristic passed Validate")
+	}
+	scp.Heuristic = "PSG"
+
+	scp.Trials = scp.Trials[:1]
+	if err := scp.Validate(sys); err == nil {
+		t.Error("checkpoint with missing trial entries passed Validate")
+	}
+
+	if _, _, err := ResumeSearch(context.Background(), sys, nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+}
+
+// TestRunCheckpointedNonSearchHeuristics: MWF/TF run to completion and never
+// produce checkpoints.
+func TestRunCheckpointedNonSearchHeuristics(t *testing.T) {
+	sys := easySystem()
+	for _, name := range []string{"MWF", "TF"} {
+		r, scp, err := RunCheckpointed(context.Background(), name, sys, testPSGConfig(1))
+		if err != nil || scp != nil {
+			t.Fatalf("%s: err %v, checkpoint %v", name, err, scp)
+		}
+		if r.Name != name {
+			t.Errorf("%s: result name %q", name, r.Name)
+		}
+	}
+}
+
+// TestPSGTrialPanicReturnsError: a panic inside a trial worker must surface
+// as an error from the search, not crash the process (the pool recovers it).
+// The panic is injected by corrupting a trial's stored engine state so
+// genitor.Restore fails inside the worker.
+func TestPSGTrialPanicReturnsError(t *testing.T) {
+	sys := easySystem()
+	cfg := testPSGConfig(1)
+	cfg.Trials = 2
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, scp, err := RunCheckpointed(canceled, "PSG", sys, cfg)
+	if !IsCanceled(err) || scp == nil {
+		t.Fatalf("setup: err %v, scp %v", err, scp)
+	}
+	// Invalidate the stored population of one trial so genitor.Restore errors
+	// inside the pool worker, which panics, which the pool recovers.
+	scp.Trials[1].Engine.Population[0].Perm[0] = 999
+	if err := scp.Validate(sys); err == nil {
+		t.Fatal("corrupt checkpoint passed validation")
+	}
+	// Call the core directly, as Validate in ResumeSearch would (correctly)
+	// refuse it; the in-flight error path must still be an error, not a
+	// crash.
+	_, _, err = psgRunCheckpointed(context.Background(), sys, scp.Config, nil, "PSG", metricScore, scp)
+	if err == nil {
+		t.Fatal("corrupt trial state did not surface as an error")
+	}
+}

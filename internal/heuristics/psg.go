@@ -131,6 +131,18 @@ func psgRun(sys *model.System, cfg PSGConfig, seeds [][]int, name string, score 
 // the context between GENITOR iterations, and a canceled context yields the
 // best mapping found so far together with ErrCanceled.
 func psgRunContext(ctx context.Context, sys *model.System, cfg PSGConfig, seeds [][]int, name string, score scoreFunc) (*Result, error) {
+	r, _, err := psgRunCheckpointed(ctx, sys, cfg, seeds, name, score, nil)
+	return r, err
+}
+
+// psgRunCheckpointed is the checkpoint-aware core of the PSG search: prior
+// (may be nil) carries the state of an earlier interrupted run — finished
+// trials are taken from it verbatim and interrupted trials resume from their
+// engine checkpoints, so the combined run is bit-identical to one that was
+// never interrupted. When any trial stops resumably (context canceled or
+// per-trial deadline expired), the returned SearchCheckpoint captures the
+// whole search for a later resume; it is nil for a run that finished.
+func psgRunCheckpointed(ctx context.Context, sys *model.System, cfg PSGConfig, seeds [][]int, name string, score scoreFunc, prior *SearchCheckpoint) (*Result, *SearchCheckpoint, error) {
 	if cfg.Trials < 1 {
 		cfg.Trials = 1
 	}
@@ -142,19 +154,41 @@ func psgRunContext(ctx context.Context, sys *model.System, cfg PSGConfig, seeds 
 		perm  []int
 		fit   genitor.Fitness
 		stats genitor.Stats
+		cp    *genitor.Checkpoint // non-nil when the trial stopped resumably
 	}
 	outs := make([]trialOut, cfg.Trials)
-	var trialErr error
-	pool.Map(workers, cfg.Trials, func(trial int) {
+	mapErr := pool.Map(workers, cfg.Trials, func(trial int) {
+		if prior != nil && trial < len(prior.Trials) && prior.Trials[trial].Done {
+			t := prior.Trials[trial]
+			outs[trial] = trialOut{perm: t.Perm, fit: t.Fitness, stats: t.Stats}
+			return
+		}
 		span := telemetry.BeginSpan("psg.trial")
-		gcfg := cfg.Config
-		gcfg.Seed = cfg.Seed + int64(trial)*1000003
-		eng, err := genitor.NewBatch(gcfg, len(sys.Strings), seeds, newDecoderBank(sys, score, lanes))
+		var eng *genitor.Engine
+		var err error
+		if prior != nil && trial < len(prior.Trials) && prior.Trials[trial].Engine != nil {
+			eng, err = genitor.Restore(prior.Trials[trial].Engine, newDecoderBank(sys, score, lanes))
+			if err == nil {
+				// The resume-time configuration owns the trial deadline; the
+				// one frozen in the engine checkpoint is stale.
+				eng.SetDeadline(cfg.Deadline)
+			}
+		} else {
+			gcfg := cfg.Config
+			gcfg.Seed = cfg.Seed + int64(trial)*1000003
+			eng, err = genitor.NewBatch(gcfg, len(sys.Strings), seeds, newDecoderBank(sys, score, lanes))
+		}
 		if err != nil {
-			panic("heuristics: " + err.Error()) // configuration bug, not input data
+			// Configuration bugs and corrupt checkpoints that slipped past
+			// validation; recovered by the pool into the error return.
+			panic("heuristics: " + err.Error())
 		}
 		perm, fit, stats := eng.RunContext(ctx)
-		outs[trial] = trialOut{perm: perm, fit: fit, stats: stats}
+		out := trialOut{perm: perm, fit: fit, stats: stats}
+		if stats.StopReason == genitor.StopCanceled || stats.StopReason == genitor.StopDeadline {
+			out.cp = eng.Checkpoint()
+		}
+		outs[trial] = out
 		tel.trials.Inc()
 		tel.iterations.Add(int64(stats.Iterations))
 		tel.evaluations.Add(int64(stats.Evaluations))
@@ -165,6 +199,22 @@ func psgRunContext(ctx context.Context, sys *model.System, cfg PSGConfig, seeds 
 			telemetry.F("evaluations", float64(stats.Evaluations)),
 		)
 	})
+	if mapErr != nil {
+		// A trial panicked (recovered by the pool); some trial slots may be
+		// empty, so no best mapping can be reported.
+		runSpan.End(telemetry.F("trials", float64(cfg.Trials)))
+		return nil, nil, fmt.Errorf("heuristics: PSG trial failed: %w", mapErr)
+	}
+	var scp *SearchCheckpoint
+	for _, out := range outs {
+		if out.cp != nil {
+			scp = newSearchCheckpoint(name, cfg, sys, func(trial int) TrialCheckpoint {
+				o := outs[trial]
+				return TrialCheckpoint{Done: o.cp == nil, Perm: o.perm, Fitness: o.fit, Stats: o.stats, Engine: o.cp}
+			})
+			break
+		}
+	}
 	best := 0
 	totalEvals, totalIters := 0, 0
 	for trial, out := range outs {
@@ -184,10 +234,11 @@ func psgRunContext(ctx context.Context, sys *model.System, cfg PSGConfig, seeds 
 		telemetry.F("evaluations", float64(totalEvals)),
 		telemetry.F("worth", r.Metric.Worth),
 	)
+	var trialErr error
 	if ctx.Err() != nil {
 		trialErr = ErrCanceled
 	}
-	return r, trialErr
+	return r, scp, trialErr
 }
 
 // PSG runs the Permutation-Space GENITOR-based heuristic: GENITOR search over

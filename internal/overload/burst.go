@@ -1,0 +1,93 @@
+package overload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/telemetry"
+)
+
+// Burst parameterizes seeded stochastic surge generation: each sampled
+// scenario draws the configured number of bursts, with onset times uniform in
+// [0, Window], exponentially distributed hold times, and peak factors uniform
+// in [1, MaxFactor]. Each burst is fleet-wide with probability GlobalProb and
+// otherwise targets a single uniformly chosen string; half the bursts are
+// steps, half ramps (rise time a quarter of the hold time). The same seed
+// always yields the same scenario, so experiment arms compare identical
+// traces.
+type Burst struct {
+	// Bursts is the number of surge events per scenario.
+	Bursts int
+	// Window is the width in seconds of the uniform onset window.
+	Window float64
+	// MaxFactor bounds the peak demand multiplier (factors are uniform in
+	// [1, MaxFactor]).
+	MaxFactor float64
+	// MeanDuration is the mean of the exponentially distributed hold time in
+	// seconds.
+	MeanDuration float64
+	// GlobalProb is the probability a burst affects every string instead of a
+	// single one.
+	GlobalProb float64
+}
+
+// DefaultBurst returns a moderate burst model: four bursts over 120 s, peaks
+// up to 3x demand, 30 s mean hold, 30% fleet-wide.
+func DefaultBurst() Burst {
+	return Burst{Bursts: 4, Window: 120, MaxFactor: 3, MeanDuration: 30, GlobalProb: 0.3}
+}
+
+// Validate reports generator configuration errors.
+func (b Burst) Validate() error {
+	switch {
+	case b.Bursts < 0:
+		return fmt.Errorf("overload: %d bursts, want >= 0", b.Bursts)
+	case b.Window < 0:
+		return fmt.Errorf("overload: negative window %v", b.Window)
+	case b.MaxFactor < 1:
+		return fmt.Errorf("overload: max factor %v, want >= 1", b.MaxFactor)
+	case b.MeanDuration <= 0:
+		return fmt.Errorf("overload: mean duration %v, want positive", b.MeanDuration)
+	case b.GlobalProb < 0 || b.GlobalProb > 1:
+		return fmt.Errorf("overload: global probability %v, want in [0, 1]", b.GlobalProb)
+	}
+	return nil
+}
+
+// Sample draws one surge scenario for a system of n strings,
+// deterministically for a given seed.
+func (b Burst) Sample(n int, seed int64) (*Scenario, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("overload: sampling a scenario for %d strings", n)
+	}
+	if telemetry.Enabled() {
+		telemetry.C("overload.scenarios").Inc()
+		telemetry.C("overload.events").Add(int64(b.Bursts))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sc := &Scenario{
+		Name: fmt.Sprintf("burst-%dx%.1f", b.Bursts, b.MaxFactor),
+		Seed: seed,
+	}
+	for i := 0; i < b.Bursts; i++ {
+		e := Event{
+			ID:       fmt.Sprintf("burst-%d", i),
+			Kind:     Step,
+			At:       rng.Float64() * b.Window,
+			Duration: rng.ExpFloat64() * b.MeanDuration,
+			Factor:   1 + rng.Float64()*(b.MaxFactor-1),
+		}
+		if i%2 == 1 {
+			e.Kind = Ramp
+			e.Rise = e.Duration / 4
+		}
+		if rng.Float64() >= b.GlobalProb {
+			e.Strings = []int{rng.Intn(n)}
+		}
+		sc.Events = append(sc.Events, e)
+	}
+	return sc, nil
+}

@@ -1,0 +1,526 @@
+// The degradation controller: the overload counterpart of dynamic.Survive.
+// Where Survive reacts to resource loss, the Controller reacts to demand
+// surges that exhaust the slack Λ the initial allocation banked: it walks the
+// surge timeline on a fixed control interval and, whenever the scaled demand
+// drives a machine or route past capacity (or slackness below the shed
+// threshold), sheds or re-places mapped strings lowest worth-per-utilization
+// first. Shed strings are re-admitted — bounded per tick, via the masked IMR
+// — only once slackness recovers above the separate, higher re-admit
+// threshold; the gap between the two thresholds is the hysteresis band that
+// keeps the controller from flapping at the boundary.
+
+package overload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dynamic"
+	"repro/internal/faults"
+	"repro/internal/feasibility"
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+)
+
+// slackEps absorbs float64 accumulation error in threshold comparisons.
+const slackEps = 1e-9
+
+// maxTicks bounds a controller run; a horizon implying more control ticks is
+// a configuration error, not a reason to spin.
+const maxTicks = 1_000_000
+
+// Config parameterizes the degradation controller. The zero value is usable:
+// WithDefaults fills in a 1 s control interval, a shed threshold of 0 (shed
+// only when a resource is past capacity or the two-stage analysis fails), a
+// re-admit threshold of 0.05, and at most 4 re-admissions per tick.
+type Config struct {
+	// ShedBelow is the lower hysteresis bound: the controller sheds load
+	// while system slackness Λ is below it (or the allocation is outright
+	// infeasible). Must be in [0, 1).
+	ShedBelow float64
+	// ReadmitAbove is the upper hysteresis bound: shed strings are considered
+	// for re-admission only while Λ is above it. Must be >= ShedBelow; the
+	// gap is the hysteresis band.
+	ReadmitAbove float64
+	// Interval is the control tick in seconds.
+	Interval float64
+	// Settle is how many seconds past the last surge/outage breakpoint the
+	// controller keeps ticking, giving re-admission time to reclaim shed
+	// strings at post-surge demand. Zero means two intervals.
+	Settle float64
+	// MaxReadmitPerTick bounds re-admissions per control tick (bounded
+	// re-admission keeps recovery from monopolizing a tick). Zero means the
+	// default of 4; negative means unlimited.
+	MaxReadmitPerTick int
+	// Faults optionally composes an outage trace with the surge scenario:
+	// strings touching a down resource are shed (and re-admitted through the
+	// fault-masked IMR once the resource is repaired and slack allows), so
+	// chaos runs can mix outages and surges on one timeline.
+	Faults *faults.Scenario
+}
+
+// WithDefaults returns a copy with every zero-valued field replaced by its
+// default. Value receiver — the original is never mutated, matching the
+// pattern shared by workload.Config, genitor.Config, and heuristics.PSGConfig.
+func (c Config) WithDefaults() Config {
+	if c.Interval == 0 {
+		c.Interval = 1
+	}
+	if c.Settle == 0 {
+		c.Settle = 2 * c.Interval
+	}
+	if c.ReadmitAbove == 0 {
+		c.ReadmitAbove = 0.05
+	}
+	if c.MaxReadmitPerTick == 0 {
+		c.MaxReadmitPerTick = 4
+	}
+	return c
+}
+
+// Validate reports configuration errors on the already-defaulted values.
+func (c Config) Validate() error {
+	if c.Interval <= 0 || math.IsNaN(c.Interval) || math.IsInf(c.Interval, 0) {
+		return fmt.Errorf("overload: control interval %v, want finite positive", c.Interval)
+	}
+	if c.ShedBelow < 0 || c.ShedBelow >= 1 || math.IsNaN(c.ShedBelow) {
+		return fmt.Errorf("overload: shed threshold %v, want in [0, 1)", c.ShedBelow)
+	}
+	if c.ReadmitAbove < c.ShedBelow || c.ReadmitAbove >= 1 || math.IsNaN(c.ReadmitAbove) {
+		return fmt.Errorf("overload: re-admit threshold %v, want in [%v, 1)", c.ReadmitAbove, c.ShedBelow)
+	}
+	if c.Settle < 0 || math.IsNaN(c.Settle) || math.IsInf(c.Settle, 0) {
+		return fmt.Errorf("overload: settle time %v, want finite non-negative", c.Settle)
+	}
+	return nil
+}
+
+// Controller is the worth-aware degradation controller. Create with
+// NewController; Run is safe for repeated use (each run is independent).
+type Controller struct {
+	cfg Config
+}
+
+// NewController validates the configuration (after applying defaults) and
+// returns a controller.
+func NewController(cfg Config) (*Controller, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// ActionKind classifies one controller action.
+type ActionKind string
+
+const (
+	// Shed: the string was dropped from the mapping to recover capacity.
+	Shed ActionKind = "shed"
+	// Migrated: the string was re-placed on different machines instead of
+	// being shed (the "downgrade before drop" step).
+	Migrated ActionKind = "migrated"
+	// Readmitted: a previously shed string was re-placed once slack
+	// recovered above the upper hysteresis threshold.
+	Readmitted ActionKind = "readmitted"
+)
+
+// Action is one timed controller decision.
+type Action struct {
+	Time     float64
+	StringID int
+	Kind     ActionKind
+	// Reason is "overload" for capacity-driven sheds/migrations, "outage"
+	// for fault-driven sheds, and "slack-recovered" for re-admissions.
+	Reason string
+}
+
+// Sample is the controller's view of the system at one control tick, after
+// its actions for the tick.
+type Sample struct {
+	Time      float64
+	Slackness float64
+	Worth     float64
+	Mapped    int
+	// Overloaded reports whether the allocation carried into this tick was
+	// over capacity (or below the shed threshold) under the tick's demand —
+	// i.e. the controller had to act.
+	Overloaded bool
+}
+
+// Result summarizes one controller run.
+type Result struct {
+	Actions []Action
+	Samples []Sample
+	// WorthBefore and WorthAfter are the mapped worth at the start and end of
+	// the timeline; Retained is their ratio (1 when nothing was mapped).
+	WorthBefore, WorthAfter float64
+	Retained                float64
+	// MinRetained is the lowest worth ratio observed at any tick — the
+	// trough of the degradation.
+	MinRetained float64
+	// Shed, Readmitted, and Migrated count actions by kind.
+	Shed, Readmitted, Migrated int
+	// TimeOverCapacity is the simulated seconds (in whole control intervals)
+	// during which the carried allocation was over capacity before the
+	// controller reacted — the price of the control interval.
+	TimeOverCapacity float64
+	// SlacknessAfter is the post-surge slackness Λ of the final allocation.
+	SlacknessAfter float64
+	// Feasible reports whether the final allocation passes the two-stage
+	// analysis.
+	Feasible bool
+	// FinalAlloc and FinalMapped are the end-of-timeline allocation (on the
+	// final tick's scaled system) and mapped flags.
+	FinalAlloc  *feasibility.Allocation
+	FinalMapped []bool
+}
+
+// controllerTelemetry caches the controller counters for one run; all fields
+// are nil (no-op) when telemetry is disabled.
+type controllerTelemetry struct {
+	ticks     *telemetry.Counter
+	shed      *telemetry.Counter
+	readmits  *telemetry.Counter
+	migrates  *telemetry.Counter
+	overTicks *telemetry.Counter
+}
+
+func newControllerTelemetry() controllerTelemetry {
+	if !telemetry.Enabled() {
+		return controllerTelemetry{}
+	}
+	return controllerTelemetry{
+		ticks:     telemetry.C("overload.ticks"),
+		shed:      telemetry.C("overload.shed"),
+		readmits:  telemetry.C("overload.readmitted"),
+		migrates:  telemetry.C("overload.migrated"),
+		overTicks: telemetry.C("overload.over_capacity_ticks"),
+	}
+}
+
+// Run walks the surge scenario on the control grid, keeping the allocation
+// feasible by worth-per-utilization shedding and hysteresis-gated
+// re-admission. The input allocation and mapped flags are not mutated; the
+// evolving mapping lives on per-tick scaled clones of the base system and the
+// final state is returned in the result. The run is fully deterministic: the
+// controller consumes no randomness, iterates strings in index order, and
+// breaks every ordering tie by string ID.
+func (c *Controller) Run(alloc *feasibility.Allocation, mapped []bool, sc *Scenario) (*Result, error) {
+	base := alloc.System()
+	n := len(base.Strings)
+	if len(mapped) != n {
+		return nil, fmt.Errorf("overload: %d mapped flags for %d strings", len(mapped), n)
+	}
+	if err := sc.Validate(n); err != nil {
+		return nil, err
+	}
+	if c.cfg.Faults != nil {
+		if err := c.cfg.Faults.Validate(base.Machines); err != nil {
+			return nil, err
+		}
+	}
+	horizon := sc.Horizon()
+	for _, e := range c.cfg.Faults.EventsOrNil() {
+		horizon = math.Max(horizon, e.At)
+		if !e.Permanent() {
+			horizon = math.Max(horizon, e.UpAt())
+		}
+	}
+	ticks := int(math.Ceil((horizon+c.cfg.Settle)/c.cfg.Interval)) + 1
+	if ticks > maxTicks {
+		return nil, fmt.Errorf("overload: horizon %v at interval %v implies %d control ticks, max %d",
+			horizon, c.cfg.Interval, ticks, maxTicks)
+	}
+
+	span := telemetry.BeginSpan("overload.run")
+	tel := newControllerTelemetry()
+	placement := make([][]int, n)
+	cur := make([]bool, n)
+	for k := 0; k < n; k++ {
+		if mapped[k] && alloc.Complete(k) {
+			placement[k] = alloc.StringMachines(k)
+			cur[k] = true
+		}
+	}
+	shedSet := make(map[int]bool)
+	res := &Result{WorthBefore: worthOf(base, cur), MinRetained: 1}
+
+	var a *feasibility.Allocation
+	for i := 0; i < ticks; i++ {
+		t := float64(i) * c.cfg.Interval
+		tel.ticks.Inc()
+		factors := sc.FactorsAt(t, n)
+		sys := base
+		if !allOnes(factors) {
+			scaled, err := dynamic.ScaleStrings(base, factors)
+			if err != nil {
+				return nil, err
+			}
+			sys = scaled
+		}
+		a = feasibility.New(sys)
+		for k := 0; k < n; k++ {
+			if cur[k] {
+				a.AssignString(k, placement[k])
+			}
+		}
+		var down *faults.Set
+		machineOK, routeOK := func(int) bool { return true }, func(int, int) bool { return true }
+		if c.cfg.Faults != nil {
+			if d := c.cfg.Faults.ActiveAt(t, base.Machines); !d.Empty() {
+				down = d
+				machineOK = func(j int) bool { return !d.MachineDown(j) }
+				routeOK = func(j1, j2 int) bool { return !d.RouteDown(j1, j2) }
+			}
+		}
+
+		// 1. Outage sheds: strings touching a down resource cannot run at
+		// all; they go straight to the shed set and become re-admission
+		// candidates once the resource is repaired.
+		if down != nil {
+			for k := 0; k < n; k++ {
+				if cur[k] && dynamic.StringUsesFailed(a, k, down) {
+					a.UnassignString(k)
+					cur[k] = false
+					shedSet[k] = true
+					res.Actions = append(res.Actions, Action{Time: t, StringID: k, Kind: Shed, Reason: "outage"})
+					res.Shed++
+					tel.shed.Inc()
+				}
+			}
+		}
+
+		overAtEntry := !c.healthy(a)
+		if overAtEntry {
+			if i > 0 {
+				res.TimeOverCapacity += c.cfg.Interval
+			}
+			tel.overTicks.Inc()
+		}
+
+		// 2. Shed loop: while a resource is past capacity (or Λ below the
+		// shed threshold), act on the implicated string with the lowest worth
+		// per unit of demand — one masked-IMR re-placement attempt first
+		// (downgrade before drop), then shed.
+		tried := make(map[int]bool)
+		for !c.healthy(a) {
+			victim := c.pickVictim(a, cur)
+			if victim < 0 {
+				break // nothing implicated (should not happen while unhealthy)
+			}
+			a.UnassignString(victim)
+			if !tried[victim] {
+				tried[victim] = true
+				if heuristics.MapStringIMRMasked(a, victim, machineOK, routeOK) {
+					if a.FeasibleAfterAdding(victim) {
+						placement[victim] = a.StringMachines(victim)
+						res.Actions = append(res.Actions, Action{Time: t, StringID: victim, Kind: Migrated, Reason: "overload"})
+						res.Migrated++
+						tel.migrates.Inc()
+						continue
+					}
+					a.UnassignString(victim)
+				}
+			}
+			cur[victim] = false
+			shedSet[victim] = true
+			res.Actions = append(res.Actions, Action{Time: t, StringID: victim, Kind: Shed, Reason: "overload"})
+			res.Shed++
+			tel.shed.Inc()
+		}
+
+		// 3. Hysteresis-gated re-admission: only while Λ sits above the
+		// upper threshold, highest worth-per-utilization candidates first,
+		// bounded per tick, and never admitting a string that would push Λ
+		// back below the shed threshold.
+		if c.healthy(a) && a.Slackness() > c.cfg.ReadmitAbove+slackEps {
+			cands := make([]int, 0, len(shedSet))
+			for k := range shedSet {
+				cands = append(cands, k)
+			}
+			sortByWorthPerUtilDesc(sys, cands)
+			admitted := 0
+			for _, k := range cands {
+				if c.cfg.MaxReadmitPerTick > 0 && admitted >= c.cfg.MaxReadmitPerTick {
+					break
+				}
+				if a.Slackness() <= c.cfg.ReadmitAbove+slackEps {
+					break
+				}
+				if !heuristics.MapStringIMRMasked(a, k, machineOK, routeOK) {
+					continue
+				}
+				if a.FeasibleAfterAdding(k) && a.Slackness() >= c.cfg.ShedBelow-slackEps {
+					cur[k] = true
+					delete(shedSet, k)
+					placement[k] = a.StringMachines(k)
+					res.Actions = append(res.Actions, Action{Time: t, StringID: k, Kind: Readmitted, Reason: "slack-recovered"})
+					res.Readmitted++
+					tel.readmits.Inc()
+					admitted++
+				} else {
+					a.UnassignString(k)
+				}
+			}
+		}
+
+		worth := worthOf(base, cur)
+		res.Samples = append(res.Samples, Sample{
+			Time:       t,
+			Slackness:  a.Slackness(),
+			Worth:      worth,
+			Mapped:     a.NumComplete(),
+			Overloaded: overAtEntry,
+		})
+		if res.WorthBefore > 0 {
+			if ratio := worth / res.WorthBefore; ratio < res.MinRetained {
+				res.MinRetained = ratio
+			}
+		}
+	}
+
+	res.WorthAfter = worthOf(base, cur)
+	res.Retained = 1.0
+	if res.WorthBefore > 0 {
+		res.Retained = res.WorthAfter / res.WorthBefore
+	}
+	res.SlacknessAfter = a.Slackness()
+	res.Feasible = a.TwoStageFeasible()
+	res.FinalAlloc = a
+	res.FinalMapped = append([]bool(nil), cur...)
+	span.End(
+		telemetry.F("ticks", float64(len(res.Samples))),
+		telemetry.F("shed", float64(res.Shed)),
+		telemetry.F("readmitted", float64(res.Readmitted)),
+		telemetry.F("retained", res.Retained),
+		telemetry.F("time_over_capacity", res.TimeOverCapacity),
+	)
+	return res, nil
+}
+
+// healthy reports whether the allocation needs no shedding: two-stage
+// feasible with slackness at or above the shed threshold.
+func (c *Controller) healthy(a *feasibility.Allocation) bool {
+	return a.TwoStageFeasible() && a.Slackness() >= c.cfg.ShedBelow-slackEps
+}
+
+// pickVictim selects the mapped string with the lowest worth per unit of
+// demand among the strings implicated in the overload: strings named by
+// stage-2 violations plus strings on any resource utilized past the shed
+// target 1-ShedBelow. Ties break by lower string ID. Returns -1 when nothing
+// is implicated.
+func (c *Controller) pickVictim(a *feasibility.Allocation, cur []bool) int {
+	sys := a.System()
+	implicated := make(map[int]bool)
+	for _, v := range a.Violations() {
+		implicated[v.StringID] = true
+	}
+	thr := 1 - c.cfg.ShedBelow
+	for j := 0; j < sys.Machines; j++ {
+		if a.MachineUtilization(j) > thr+slackEps {
+			markStringsOnMachine(a, j, implicated)
+		}
+		for j2 := 0; j2 < sys.Machines; j2++ {
+			if j != j2 && a.RouteUtilization(j, j2) > thr+slackEps {
+				markStringsOnRoute(a, j, j2, implicated)
+			}
+		}
+	}
+	best, bestWPU := -1, 0.0
+	for k := 0; k < len(sys.Strings); k++ {
+		if !implicated[k] || !cur[k] || !a.Complete(k) {
+			continue
+		}
+		wpu := WorthPerUtil(sys, k)
+		if best < 0 || wpu < bestWPU {
+			best, bestWPU = k, wpu
+		}
+	}
+	return best
+}
+
+// WorthPerUtil returns the worth of string k per unit of average resource
+// demand: its worth divided by the sum of its machine-averaged CPU
+// utilization demand and its bandwidth-averaged route utilization demand —
+// the value density the controller sheds against (lowest first) and
+// re-admits against (highest first).
+func WorthPerUtil(sys *model.System, k int) float64 {
+	s := &sys.Strings[k]
+	d := 0.0
+	for i := range s.Apps {
+		d += sys.AvgWork(k, i) / s.Period
+	}
+	inv := sys.AvgInvBandwidth()
+	for i := 0; i < len(s.Apps)-1; i++ {
+		d += 8 * s.Apps[i].OutputKB / 1000 * inv / s.Period
+	}
+	if d < 1e-12 {
+		d = 1e-12
+	}
+	return s.Worth / d
+}
+
+// sortByWorthPerUtilDesc orders string indices by worth-per-utilization,
+// highest first, ties by lower ID.
+func sortByWorthPerUtilDesc(sys *model.System, ks []int) {
+	sort.Slice(ks, func(a, b int) bool {
+		wa, wb := WorthPerUtil(sys, ks[a]), WorthPerUtil(sys, ks[b])
+		if wa != wb {
+			return wa > wb
+		}
+		return ks[a] < ks[b]
+	})
+}
+
+func markStringsOnMachine(a *feasibility.Allocation, j int, set map[int]bool) {
+	sys := a.System()
+	for k := range sys.Strings {
+		if !a.Complete(k) {
+			continue
+		}
+		for i := range sys.Strings[k].Apps {
+			if a.Machine(k, i) == j {
+				set[k] = true
+				break
+			}
+		}
+	}
+}
+
+func markStringsOnRoute(a *feasibility.Allocation, j1, j2 int, set map[int]bool) {
+	sys := a.System()
+	for k := range sys.Strings {
+		if !a.Complete(k) {
+			continue
+		}
+		napps := len(sys.Strings[k].Apps)
+		for i := 0; i < napps-1; i++ {
+			if a.Machine(k, i) == j1 && a.Machine(k, i+1) == j2 {
+				set[k] = true
+				break
+			}
+		}
+	}
+}
+
+func worthOf(sys *model.System, cur []bool) float64 {
+	w := 0.0
+	for k, ok := range cur {
+		if ok {
+			w += sys.Strings[k].Worth
+		}
+	}
+	return w
+}
+
+func allOnes(fs []float64) bool {
+	for _, f := range fs {
+		if f != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -9,7 +9,9 @@ package pool
 // count.
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,15 +28,35 @@ func Workers(n int) int {
 	return n
 }
 
+// PanicError is the error Map returns when fn panics on a worker: the
+// recovered value plus the goroutine stack at the panic site, so long-running
+// searches surface the failure in their error path instead of crashing the
+// whole process.
+type PanicError struct {
+	Index int    // work-item index whose fn call panicked
+	Value any    // recovered panic value
+	Stack []byte // goroutine stack captured at recovery
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("pool: fn(%d) panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
 // Map runs fn(0) .. fn(n-1) across at most workers concurrent goroutines and
 // returns once every call has completed. Indices are handed out dynamically,
 // so uneven work items balance across workers. With workers <= 1 (or n <= 1)
 // the calls run serially, in index order, on the caller's goroutine — no
 // goroutines are spawned. fn must be safe for concurrent invocation with
 // distinct indices and should communicate results through per-index storage.
-func Map(workers, n int, fn func(i int)) {
+//
+// A panic inside fn is recovered on the worker and returned as a *PanicError
+// instead of crashing the process; the first panic wins, workers stop picking
+// up new indices, and in-flight calls finish before Map returns. Results of
+// indices processed before the abort are still in the caller's per-index
+// storage, but a non-nil error means the full range was not covered.
+func Map(workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
@@ -49,11 +71,32 @@ func Map(workers, n int, fn func(i int)) {
 		fn = pm.timed(fn)
 		defer pm.finish(time.Now())
 	}
+	var (
+		aborted  atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				aborted.Store(true)
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+				}
+				errMu.Unlock()
+				if telemetry.Enabled() {
+					telemetry.C("pool.panics").Inc()
+				}
+			}
+		}()
+		fn(i)
+	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
+		for i := 0; i < n && !aborted.Load(); i++ {
+			call(i)
 		}
-		return
+		return firstErr
 	}
 	var next int64 = -1
 	var wg sync.WaitGroup
@@ -61,16 +104,19 @@ func Map(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !aborted.Load() {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				fn(i)
+				call(i)
 			}
 		}()
 	}
 	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
 }
 
 // poolMetrics carries the counters of one Map call.

@@ -1,7 +1,9 @@
 package pool
 
 import (
+	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -50,6 +52,56 @@ func TestMapDegenerateSizes(t *testing.T) {
 	Map(8, 1, func(i int) { ran++ })
 	if ran != 1 {
 		t.Errorf("Map over one item ran %d calls, want 1", ran)
+	}
+}
+
+// TestWorkersRecoverPanic: a panic inside fn must come back as a *PanicError
+// instead of crashing the process, for serial and parallel Map alike.
+func TestWorkersRecoverPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Map(workers, 32, func(i int) {
+			if i == 7 {
+				panic("boom")
+			}
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: Map returned nil error for panicking fn", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %T is not *PanicError", workers, err)
+		}
+		if pe.Value != "boom" {
+			t.Errorf("workers=%d: recovered value %v, want boom", workers, pe.Value)
+		}
+		if !strings.Contains(err.Error(), "boom") || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: error should carry panic value and stack: %v", workers, err)
+		}
+	}
+}
+
+// TestMapPanicAbortsRemainingWork: after the first panic, workers stop
+// picking up new indices, and Map still returns (no deadlock).
+func TestMapPanicAbortsRemainingWork(t *testing.T) {
+	var ran int32
+	err := Map(1, 1000, func(i int) {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			panic(i)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := atomic.LoadInt32(&ran); got != 4 {
+		t.Errorf("serial Map ran %d calls after panic at index 3, want 4", got)
+	}
+}
+
+// TestMapNoPanicReturnsNil: the happy path reports no error.
+func TestMapNoPanicReturnsNil(t *testing.T) {
+	if err := Map(4, 100, func(int) {}); err != nil {
+		t.Fatalf("Map returned %v for panic-free fn", err)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/feasibility"
+	"repro/internal/overload"
 	"repro/internal/telemetry"
 )
 
@@ -56,6 +57,14 @@ type Config struct {
 	// in-flight work on a failed resource is lost and recomputed after repair,
 	// and permanently failed resources strand their remaining data sets.
 	Failures []faults.Event
+	// Surge is an optional timed demand-surge scenario (see package overload):
+	// a job or transfer starting at time t has its CPU work or size multiplied
+	// by the scenario's per-string factor at t, on top of WorkloadScale. The
+	// factor is sampled once at start time — work already in flight when a
+	// surge hits keeps its size, matching the data-set semantics where input
+	// volume is fixed at release. Composes freely with Failures, so chaos runs
+	// can mix outages and surges in one trace.
+	Surge *overload.Scenario
 }
 
 // AppStats aggregates measurements for one application or its outgoing
@@ -229,7 +238,22 @@ func (cfg *Config) validate(alloc *feasibility.Allocation) error {
 			return fmt.Errorf("sim: config: %w", err)
 		}
 	}
+	if cfg.Surge != nil {
+		if err := cfg.Surge.Validate(len(sys.Strings)); err != nil {
+			return fmt.Errorf("sim: config: %w", err)
+		}
+	}
 	return nil
+}
+
+// demandScale is the demand multiplier for string k at the current simulated
+// time: the static WorkloadScale times the surge scenario's factor.
+func (s *simulator) demandScale(k int) float64 {
+	f := s.cfg.WorkloadScale
+	if s.cfg.Surge != nil {
+		f *= s.cfg.Surge.FactorAt(s.now, k)
+	}
+	return f
 }
 
 func newSimulator(alloc *feasibility.Allocation, cfg Config) *simulator {
@@ -460,7 +484,7 @@ func (s *simulator) maybeStart(k, i int) {
 	app := &sys.Strings[k].Apps[i]
 	jb := &job{
 		k: k, i: i, q: head.q,
-		remaining: app.Work(m) * s.cfg.WorkloadScale,
+		remaining: app.Work(m) * s.demandScale(k),
 		rateCap:   app.NominalUtil[m],
 		priority:  s.rank[k],
 		queuedAt:  head.queuedAt,
@@ -499,7 +523,7 @@ func (s *simulator) completeJob(jb *job) {
 		s.enqueue(jb.k, jb.i+1, jb.q)
 		return
 	}
-	sizeMb := 8 * str.Apps[jb.i].OutputKB / 1000 * s.cfg.WorkloadScale
+	sizeMb := 8 * str.Apps[jb.i].OutputKB / 1000 * s.demandScale(jb.k)
 	tr := &transfer{
 		k: jb.k, i: jb.i, q: jb.q,
 		remainingMb: sizeMb,

@@ -151,6 +151,60 @@ func TestDisabledInstrumentsAllocateNothing(t *testing.T) {
 	}
 }
 
+// TestWriteTextEmptyRegistry: a registry that never handed out an instrument
+// snapshots to the all-nil-maps form and renders as nothing — no stray
+// section headers.
+func TestWriteTextEmptyRegistry(t *testing.T) {
+	r := telemetry.NewRegistry()
+	snap := r.Snapshot()
+	if !snap.Empty() {
+		t.Fatalf("fresh registry snapshot not empty: %+v", snap)
+	}
+	var buf bytes.Buffer
+	snap.WriteText(&buf)
+	if buf.Len() != 0 {
+		t.Errorf("empty registry rendered %q, want nothing", buf.String())
+	}
+	var nilReg *telemetry.Registry
+	if !nilReg.Snapshot().Empty() {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the boundary rule: an observation equal
+// to a bucket bound lands in that bucket (counts[i] tallies v <= bounds[i]),
+// and only values strictly above the last bound overflow.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := telemetry.NewRegistry()
+	h := r.Histogram("bounds.exact", 1, 10, 100)
+	for _, v := range []float64{1, 10, 100} { // each exactly on a bound
+		h.Observe(v)
+	}
+	h.Observe(100.000001) // just past the last bound: overflow
+	h.Observe(0)          // below the first bound: first bucket
+	hs := r.Snapshot().Histograms["bounds.exact"]
+	wantCounts := []int64{2, 1, 1, 1} // {0,1}, {10}, {100}, {overflow}
+	if len(hs.Counts) != len(wantCounts) {
+		t.Fatalf("%d buckets, want %d", len(hs.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if hs.Counts[i] != want {
+			t.Errorf("bucket %d holds %d, want %d (bounds %v)", i, hs.Counts[i], want, hs.Bounds)
+		}
+	}
+	if hs.Count != 5 {
+		t.Errorf("total count %d, want 5", hs.Count)
+	}
+	var buf bytes.Buffer
+	r.Snapshot().WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"le1:2", "le10:1", "le100:1", "inf:1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing bucket %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSnapshotWriteText(t *testing.T) {
 	r := telemetry.NewRegistry()
 	r.Counter("b.second").Add(2)

@@ -32,7 +32,7 @@ func BiasSweep(opts Options, biases []float64) (*Figure, error) {
 		for bi, bias := range biases {
 			pcfg := opts.PSG
 			pcfg.Bias = bias
-			pcfg.Seed = seed * 7919
+			pcfg.Seed = searchSeed(seed)
 			r := heuristics.PSG(sys, pcfg)
 			samples[bi].Add(r.Metric.Worth)
 		}
@@ -62,7 +62,7 @@ func SeedingStudy(opts Options) (*Figure, error) {
 			return nil, err
 		}
 		pcfg := opts.PSG
-		pcfg.Seed = seed * 7919
+		pcfg.Seed = searchSeed(seed)
 		mwf.Add(heuristics.MWF(sys).Metric.Worth)
 		tf.Add(heuristics.TF(sys).Metric.Worth)
 		psg.Add(heuristics.PSG(sys, pcfg).Metric.Worth)
@@ -101,7 +101,7 @@ func PopulationSweep(opts Options, sizes []int) (*Figure, error) {
 		for si, size := range sizes {
 			pcfg := opts.PSG
 			pcfg.PopulationSize = size
-			pcfg.Seed = seed * 7919
+			pcfg.Seed = searchSeed(seed)
 			r := heuristics.PSG(sys, pcfg)
 			samples[si].Add(r.Metric.Worth)
 		}
@@ -143,7 +143,7 @@ func WorthMixStudy(opts Options) (*Figure, error) {
 				return nil, err
 			}
 			pcfg := opts.PSG
-			pcfg.Seed = seed * 7919
+			pcfg.Seed = searchSeed(seed)
 			mwf := heuristics.MWF(sys).Metric.Worth
 			sp := heuristics.SeededPSG(sys, pcfg).Metric.Worth
 			samples[mi].Add(sp - mwf)

@@ -111,7 +111,7 @@ func RunChaosStudyContext(ctx context.Context, opts Options, hits []int) (*Chaos
 				r = heuristics.MapSequence(sys, order)
 			case "GENITOR":
 				pcfg := opts.PSG
-				pcfg.Seed = seed * 7919
+				pcfg.Seed = searchSeed(seed)
 				r, err = heuristics.RunContext(ctx, "SeededPSG", sys, pcfg)
 			default:
 				r, err = heuristics.RunContext(ctx, name, sys, opts.PSG)
@@ -127,7 +127,7 @@ func RunChaosStudyContext(ctx context.Context, opts Options, hits []int) (*Chaos
 		}
 		for fi, f := range hits {
 			mc := faults.MonteCarlo{CompartmentHits: f}
-			sc, err := mc.Sample(sys.Machines, seed*1000003+int64(f))
+			sc, err := mc.Sample(sys.Machines, scenarioSeed(seed, "experiments/chaos", f))
 			if err != nil {
 				return nil, err
 			}

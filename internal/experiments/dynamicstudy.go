@@ -65,7 +65,7 @@ func RunDynamicStudy(opts Options, scales []float64) (*DynamicStudy, error) {
 		}
 		for _, name := range names {
 			pcfg := opts.PSG
-			pcfg.Seed = seed * 7919
+			pcfg.Seed = searchSeed(seed)
 			r := heuristics.Run(name, sys, pcfg)
 			out.InitialSlackness[name].Add(r.Metric.Slackness)
 			for si, scale := range scales {

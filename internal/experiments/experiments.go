@@ -175,7 +175,7 @@ func worthFigure(scenario workload.Scenario, title string, opts Options) (*Figur
 		}
 		for _, name := range heuristics.Names {
 			pcfg := opts.PSG
-			pcfg.Seed = seed * 7919
+			pcfg.Seed = searchSeed(seed)
 			r := heuristics.Run(name, sys, pcfg)
 			series[name].Add(r.Metric.Worth)
 		}
@@ -238,7 +238,7 @@ func Figure5(opts Options) (*Figure, error) {
 		}
 		for _, name := range heuristics.Names {
 			pcfg := opts.PSG
-			pcfg.Seed = seed * 7919
+			pcfg.Seed = searchSeed(seed)
 			r := heuristics.Run(name, sys, pcfg)
 			series[name].Add(r.Metric.Slackness)
 			if r.NumMapped != len(sys.Strings) {
@@ -292,7 +292,7 @@ func Timing(opts Options) (*Figure, error) {
 		}
 		for _, name := range heuristics.Names {
 			pcfg := opts.PSG
-			pcfg.Seed = seed * 7919
+			pcfg.Seed = searchSeed(seed)
 			start := time.Now()
 			heuristics.Run(name, sys, pcfg)
 			series[name].Add(time.Since(start).Seconds())

@@ -111,7 +111,7 @@ func RunOverloadStudyContext(ctx context.Context, opts Options, factors []float6
 				r = heuristics.MapSequence(sys, order)
 			case "GENITOR":
 				pcfg := opts.PSG
-				pcfg.Seed = seed * 7919
+				pcfg.Seed = searchSeed(seed)
 				r, err = heuristics.RunContext(ctx, "SeededPSG", sys, pcfg)
 			default:
 				r, err = heuristics.RunContext(ctx, name, sys, opts.PSG)
@@ -130,7 +130,7 @@ func RunOverloadStudyContext(ctx context.Context, opts Options, factors []float6
 			burst.MaxFactor = f
 			// One surge trace per (run, factor) cell, shared verbatim across
 			// the heuristics so they face identical demand timelines.
-			sc, err := burst.Sample(len(sys.Strings), seed*1000003+int64(fi))
+			sc, err := burst.Sample(len(sys.Strings), scenarioSeed(seed, "experiments/overload", fi))
 			if err != nil {
 				return nil, err
 			}

@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"repro/internal/heuristics"
 	"repro/internal/pool"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -42,10 +42,12 @@ func RunPhasingStudy(opts Options) (*PhasingStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		rng := rand.New(rand.NewSource(seed * 31))
+		// Keyed derivation: the old seed*31 scheme collided with other runs'
+		// raw seeds (run seed 62 vs 2*31), reusing workload draws as phases.
+		rnd := rng.NewRand(opts.Seed, rng.SubsystemPhasing, int64(run))
 		phases := make([]float64, len(sys.Strings))
 		for k := range phases {
-			phases[k] = rng.Float64() * sys.Strings[k].Period
+			phases[k] = rnd.Float64() * sys.Strings[k].Period
 		}
 		random, err := sim.Run(r.Alloc, sim.Config{Periods: 8, Phases: phases})
 		if err != nil {

@@ -59,7 +59,7 @@ func Robustness(opts Options, heuristic string, scales []float64) (*RobustnessRe
 			return nil, err
 		}
 		pcfg := opts.PSG
-		pcfg.Seed = seed * 7919
+		pcfg.Seed = searchSeed(seed)
 		r := heuristics.Run(heuristic, sys, pcfg)
 		lam := r.Metric.Slackness
 		res.Slackness.Add(lam)

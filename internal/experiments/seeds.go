@@ -1,0 +1,28 @@
+package experiments
+
+// seeds.go centralizes every seed derivation in the experiments package on
+// keyed rng streams. Each study draws from three independent families —
+// workload generation (the per-run seed itself, consumed by the workload
+// subsystem stream), heuristic search, and fault/surge scenario sampling —
+// and the derivations here guarantee the families never collide: the old
+// multiplicative schemes (seed*7919 for search, seed*1000003+i for
+// scenarios, seed*31 for phasing) could alias each other and the raw run
+// seeds, silently correlating arms that must be independent.
+
+import "repro/internal/rng"
+
+// searchSeed derives the heuristic-search seed (GENITOR engine root) for one
+// per-run workload seed. Every study uses this same derivation so arms that
+// share a workload also share a search trajectory — the comparisons stay
+// paired — while the search stream remains independent of the workload and
+// scenario streams.
+func searchSeed(seed int64) int64 {
+	return rng.DeriveSeed(seed, rng.SubsystemSearch)
+}
+
+// scenarioSeed derives the seed for the i-th sampled disturbance scenario
+// (fault or surge) of one run. The label keeps chaos and overload studies on
+// distinct streams even for identical (seed, i).
+func scenarioSeed(seed int64, label string, i int) int64 {
+	return rng.DeriveSeed(seed, label, int64(i))
+}

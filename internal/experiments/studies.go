@@ -33,7 +33,7 @@ func SSGStudy(opts Options) (*Figure, error) {
 			return nil, err
 		}
 		pcfg := opts.PSG
-		pcfg.Seed = seed * 7919
+		pcfg.Seed = searchSeed(seed)
 		psg.Add(heuristics.PSG(sys, pcfg).Metric.Worth)
 		seeded.Add(heuristics.SeededPSG(sys, pcfg).Metric.Worth)
 		scfg := heuristics.SSGConfig{
@@ -41,7 +41,7 @@ func SSGStudy(opts Options) (*Figure, error) {
 			Bias:           pcfg.Bias,
 			MaxIterations:  pcfg.MaxIterations * pcfg.Trials, // equal total budget
 			StallLimit:     pcfg.StallLimit,
-			Seed:           seed * 7919,
+			Seed:           searchSeed(seed),
 		}
 		ssg.Add(heuristics.SSG(sys, scfg).Metric.Worth)
 		if opts.Progress != nil {
@@ -113,7 +113,7 @@ func HeterogeneityStudy(opts Options) (*Figure, error) {
 				return nil, err
 			}
 			pcfg := opts.PSG
-			pcfg.Seed = seed * 7919
+			pcfg.Seed = searchSeed(seed)
 			mwf[mi].Add(heuristics.MWF(sys).Metric.Worth)
 			sp[mi].Add(heuristics.SeededPSG(sys, pcfg).Metric.Worth)
 		}
@@ -154,7 +154,7 @@ func WorthSchemeStudy(opts Options) (*Figure, error) {
 			return nil, err
 		}
 		pcfg := opts.PSG
-		pcfg.Seed = seed * 7919
+		pcfg.Seed = searchSeed(seed)
 		std := heuristics.SeededPSG(sys, pcfg)
 		classed := heuristics.ClassedPSG(sys, pcfg)
 		stdTotal.Add(std.Metric.Worth)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
 
@@ -64,15 +65,15 @@ func (mc MonteCarlo) Sample(m int, seed int64) (*Scenario, error) {
 		telemetry.C("faults.scenarios").Inc()
 		telemetry.C("faults.events").Add(int64(mc.CompartmentHits + mc.MachineOutages + mc.RouteOutages))
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rnd := rng.NewRand(seed, rng.SubsystemFaults, 0)
 	sc := &Scenario{
 		Name: fmt.Sprintf("mc-%dc%dm%dr", mc.CompartmentHits, mc.MachineOutages, mc.RouteOutages),
 		Seed: seed,
 	}
 	// Machine-level victims without replacement, compartment hits first.
-	victims := rng.Perm(m)[:mc.CompartmentHits+mc.MachineOutages]
+	victims := rnd.Perm(m)[:mc.CompartmentHits+mc.MachineOutages]
 	for idx, j := range victims {
-		at, dur := mc.sampleTimes(rng)
+		at, dur := mc.sampleTimes(rnd)
 		if idx < mc.CompartmentHits {
 			sc.Events = append(sc.Events, CompartmentHit(m, j, at, dur)...)
 		} else {
@@ -80,14 +81,14 @@ func (mc MonteCarlo) Sample(m int, seed int64) (*Scenario, error) {
 		}
 	}
 	// Route victims without replacement among all directed routes.
-	routes := rng.Perm(m * (m - 1))[:mc.RouteOutages]
+	routes := rnd.Perm(m * (m - 1))[:mc.RouteOutages]
 	for _, r := range routes {
 		from := r / (m - 1)
 		to := r % (m - 1)
 		if to >= from {
 			to++ // skip the diagonal
 		}
-		at, dur := mc.sampleTimes(rng)
+		at, dur := mc.sampleTimes(rnd)
 		sc.Events = append(sc.Events, Event{Resource: Route(from, to), At: at, Duration: dur})
 	}
 	return sc, nil
@@ -127,12 +128,12 @@ func (mc MonteCarlo) ScenariosContext(ctx context.Context, m, n int, seed0 int64
 }
 
 // sampleTimes draws one failure time and repair duration.
-func (mc MonteCarlo) sampleTimes(rng *rand.Rand) (at, duration float64) {
+func (mc MonteCarlo) sampleTimes(rnd *rand.Rand) (at, duration float64) {
 	if mc.Window > 0 {
-		at = rng.Float64() * mc.Window
+		at = rnd.Float64() * mc.Window
 	}
 	if mc.MeanDowntime > 0 {
-		duration = rng.ExpFloat64() * mc.MeanDowntime
+		duration = rnd.ExpFloat64() * mc.MeanDowntime
 	}
 	return at, duration
 }

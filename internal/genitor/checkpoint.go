@@ -1,52 +1,28 @@
 package genitor
 
 // checkpoint.go makes a GENITOR run killable: the complete search state —
-// configuration, population, counters, and the exact position in the seeded
+// configuration, population, counters, and the exact position in the keyed
 // random stream — serializes to JSON, and Restore rebuilds an engine that
 // continues bit-identically to the run that was interrupted. The trick is the
-// random stream: *rand.Rand state is not serializable, but every draw the
-// engine makes advances the underlying source by a fixed number of internal
-// steps, so a counting wrapper around the source records the position and
-// Restore replays it by burning the same number of draws from the same seed.
+// random stream: *rand.Rand state is not serializable, but the engine draws
+// from a counted rng.Stream whose position is pinned by the draw count alone,
+// and a keyed stream restores to any recorded position in O(1)
+// (rng.Stream.Skip), so the checkpoint stores just the seed and the count.
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
+
+	"repro/internal/rng"
 )
 
-// countingSource wraps a seeded math/rand source and counts every draw. Both
-// Int63 and Uint64 advance the underlying generator by exactly one internal
-// step, so the count alone pins the stream position regardless of which
-// methods rand.Rand dispatched to.
-type countingSource struct {
-	src   rand.Source64
-	calls uint64
-}
-
-// newCountingSource returns a counting wrapper around the standard seeded
-// source.
-func newCountingSource(seed int64) *countingSource {
-	// rand.NewSource's concrete type has implemented Source64 since Go 1.8;
-	// the assertion cannot fail for the standard source.
-	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
-}
-
-func (s *countingSource) Int63() int64 {
-	s.calls++
-	return s.src.Int63()
-}
-
-func (s *countingSource) Uint64() uint64 {
-	s.calls++
-	return s.src.Uint64()
-}
-
-func (s *countingSource) Seed(seed int64) {
-	s.calls = 0
-	s.src.Seed(seed)
+// engineStream derives the engine's keyed random stream: root Config.Seed
+// under the genitor subsystem label. Every draw the engine makes — through
+// its *rand.Rand or otherwise — advances and is counted by this stream.
+func engineStream(seed int64) *rng.Stream {
+	return rng.NewStream(rng.Key(seed, rng.SubsystemGenitor, 0))
 }
 
 // Chromosome is one serialized population member.
@@ -82,7 +58,10 @@ type Checkpoint struct {
 }
 
 // CheckpointVersion is the checkpoint format written by Engine.Checkpoint.
-const CheckpointVersion = 1
+// Version 2 moved the engine onto keyed rng.Stream randomness: the stream a
+// version-1 RandCalls count refers to no longer exists, so version-1 files
+// are rejected rather than resumed onto a different trajectory.
+const CheckpointVersion = 2
 
 // Checkpoint captures the engine's complete state at an iteration boundary.
 // The copy is deep: the engine can keep running without disturbing it.
@@ -95,7 +74,7 @@ func (e *Engine) Checkpoint() *Checkpoint {
 		Iterations:  e.stats.Iterations,
 		Evaluations: e.stats.Evaluations,
 		Stall:       e.stall,
-		RandCalls:   e.src.calls,
+		RandCalls:   e.src.Calls(),
 	}
 	for _, m := range e.pop {
 		cp.Population = append(cp.Population, Chromosome{
@@ -141,11 +120,11 @@ func (cp *Checkpoint) Validate() error {
 
 // Restore rebuilds an engine from a checkpoint so RunContext continues the
 // interrupted search bit-identically: the population and counters are copied
-// back, and the random stream is re-seeded from the checkpointed seed and
-// fast-forwarded by the recorded number of draws. The evaluator lanes must
-// compute the same pure fitness function as the original run (lane count is
-// free to differ — it never affects results). Stored fitnesses are trusted,
-// not re-evaluated.
+// back, and the keyed random stream is re-derived from the checkpointed seed
+// and fast-forwarded to the recorded draw count in O(1) — no draws are
+// replayed. The evaluator lanes must compute the same pure fitness function
+// as the original run (lane count is free to differ — it never affects
+// results). Stored fitnesses are trusted, not re-evaluated.
 func Restore(cp *Checkpoint, lanes []Evaluator) (*Engine, error) {
 	if err := cp.Validate(); err != nil {
 		return nil, err
@@ -158,17 +137,14 @@ func Restore(cp *Checkpoint, lanes []Evaluator) (*Engine, error) {
 			return nil, fmt.Errorf("genitor: evaluator lane %d is nil", i)
 		}
 	}
-	src := newCountingSource(cp.Config.Seed)
-	for i := uint64(0); i < cp.RandCalls; i++ {
-		src.src.Int63() // burn without counting; the count is set below
-	}
-	src.calls = cp.RandCalls
+	src := engineStream(cp.Config.Seed)
+	src.Skip(cp.RandCalls)
 	e := &Engine{
 		cfg:   cp.Config,
 		n:     cp.Genes,
 		lanes: lanes,
 		src:   src,
-		rng:   rand.New(src),
+		rng:   src.Rand(),
 		pop:   make([]member, 0, len(cp.Population)),
 		stats: Stats{Iterations: cp.Iterations, Evaluations: cp.Evaluations},
 		stall: cp.Stall,

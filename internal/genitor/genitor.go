@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
 
@@ -156,7 +157,7 @@ type Engine struct {
 	cfg     Config
 	n       int         // genes per chromosome
 	lanes   []Evaluator // one per concurrent evaluation lane; lanes[0] is canonical
-	src     *countingSource
+	src     *rng.Stream
 	rng     *rand.Rand
 	pop     []member // sorted best-first
 	stats   Stats
@@ -229,13 +230,13 @@ func NewBatch(cfg Config, n int, seeds [][]int, lanes []Evaluator) (*Engine, err
 			return nil, fmt.Errorf("genitor: evaluator lane %d is nil", i)
 		}
 	}
-	src := newCountingSource(cfg.Seed)
+	src := engineStream(cfg.Seed)
 	e := &Engine{
 		cfg:   cfg,
 		n:     n,
 		lanes: lanes,
 		src:   src,
-		rng:   rand.New(src),
+		rng:   src.Rand(),
 		pop:   make([]member, 0, cfg.PopulationSize),
 		tel:   newEngineTelemetry(),
 	}

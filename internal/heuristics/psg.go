@@ -8,6 +8,7 @@ import (
 	"repro/internal/genitor"
 	"repro/internal/model"
 	"repro/internal/pool"
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
 
@@ -175,7 +176,10 @@ func psgRunCheckpointed(ctx context.Context, sys *model.System, cfg PSGConfig, s
 			}
 		} else {
 			gcfg := cfg.Config
-			gcfg.Seed = cfg.Seed + int64(trial)*1000003
+			// Keyed derivation (root seed, psg-trial subsystem, trial index)
+			// gives every trial an independent stream; the engine re-keys the
+			// scalar under its own genitor label.
+			gcfg.Seed = rng.Key(cfg.Seed, rng.SubsystemPSGTrial, int64(trial)).Seed64()
 			eng, err = genitor.NewBatch(gcfg, len(sys.Strings), seeds, newDecoderBank(sys, score, lanes))
 		}
 		if err != nil {

@@ -3,11 +3,11 @@ package heuristics
 import (
 	"context"
 	"math"
-	"math/rand"
 	"sort"
 
 	"repro/internal/feasibility"
 	"repro/internal/model"
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
 
@@ -170,7 +170,9 @@ func SSGContext(ctx context.Context, sys *model.System, cfg SSGConfig) (*Result,
 		telEvals = telemetry.C("heuristics.ssg.evaluations")
 	}
 	nGenes := sys.NumApps()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The SSG baseline draws from its own keyed stream, so sharing a root
+	// seed with the permutation-space searches never shares a sequence.
+	rnd := rng.NewRand(cfg.Seed, rng.SubsystemSSG, 0)
 	evals := 0
 	eval := func(genes []int) feasibility.Metric {
 		evals++
@@ -181,7 +183,7 @@ func SSGContext(ctx context.Context, sys *model.System, cfg SSGConfig) (*Result,
 	for p := range pop {
 		genes := make([]int, nGenes)
 		for g := range genes {
-			genes[g] = rng.Intn(sys.Machines)
+			genes[g] = rnd.Intn(sys.Machines)
 		}
 		pop[p] = ssgMember{genes: genes, metric: eval(genes)}
 	}
@@ -189,7 +191,7 @@ func SSGContext(ctx context.Context, sys *model.System, cfg SSGConfig) (*Result,
 
 	selectRank := func() int {
 		n, b := float64(len(pop)), cfg.Bias
-		u := rng.Float64()
+		u := rnd.Float64()
 		var r float64
 		if b == 1 {
 			r = n * u
@@ -234,7 +236,7 @@ func SSGContext(ctx context.Context, sys *model.System, cfg SSGConfig) (*Result,
 		c1 := make([]int, nGenes)
 		c2 := make([]int, nGenes)
 		for g := 0; g < nGenes; g++ {
-			if rng.Intn(2) == 0 {
+			if rnd.Intn(2) == 0 {
 				c1[g], c2[g] = p1[g], p2[g]
 			} else {
 				c1[g], c2[g] = p2[g], p1[g]
@@ -249,9 +251,9 @@ func SSGContext(ctx context.Context, sys *model.System, cfg SSGConfig) (*Result,
 		// Random-reset mutation of one gene.
 		m := append([]int(nil), pop[selectRank()].genes...)
 		if nGenes > 0 && sys.Machines > 1 {
-			g := rng.Intn(nGenes)
+			g := rnd.Intn(nGenes)
 			old := m[g]
-			m[g] = rng.Intn(sys.Machines - 1)
+			m[g] = rnd.Intn(sys.Machines - 1)
 			if m[g] >= old {
 				m[g]++
 			}

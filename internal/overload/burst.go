@@ -2,8 +2,8 @@ package overload
 
 import (
 	"fmt"
-	"math/rand"
 
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
 
@@ -67,7 +67,7 @@ func (b Burst) Sample(n int, seed int64) (*Scenario, error) {
 		telemetry.C("overload.scenarios").Inc()
 		telemetry.C("overload.events").Add(int64(b.Bursts))
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rnd := rng.NewRand(seed, rng.SubsystemOverload, 0)
 	sc := &Scenario{
 		Name: fmt.Sprintf("burst-%dx%.1f", b.Bursts, b.MaxFactor),
 		Seed: seed,
@@ -76,16 +76,16 @@ func (b Burst) Sample(n int, seed int64) (*Scenario, error) {
 		e := Event{
 			ID:       fmt.Sprintf("burst-%d", i),
 			Kind:     Step,
-			At:       rng.Float64() * b.Window,
-			Duration: rng.ExpFloat64() * b.MeanDuration,
-			Factor:   1 + rng.Float64()*(b.MaxFactor-1),
+			At:       rnd.Float64() * b.Window,
+			Duration: rnd.ExpFloat64() * b.MeanDuration,
+			Factor:   1 + rnd.Float64()*(b.MaxFactor-1),
 		}
 		if i%2 == 1 {
 			e.Kind = Ramp
 			e.Rise = e.Duration / 4
 		}
-		if rng.Float64() >= b.GlobalProb {
-			e.Strings = []int{rng.Intn(n)}
+		if rnd.Float64() >= b.GlobalProb {
+			e.Strings = []int{rnd.Intn(n)}
 		}
 		sc.Events = append(sc.Events, e)
 	}

@@ -1,0 +1,49 @@
+package rng
+
+import "testing"
+
+// FuzzKeyMixingNoCollisions drives the key-mixing function with arbitrary key
+// pairs: distinct keys must produce streams that differ somewhere in their
+// first draws. A collision means the mixing lost key information — two
+// subsystems or two trials silently sharing a stream, the exact failure this
+// package exists to rule out.
+func FuzzKeyMixingNoCollisions(f *testing.F) {
+	f.Add(int64(1), "workload", int64(0), int64(1), "faults", int64(0))
+	f.Add(int64(5), "workload", int64(0), int64(5*31), "workload", int64(0))
+	f.Add(int64(7), "genitor", int64(0), int64(7), "genitor", int64(1))
+	f.Add(int64(0), "", int64(0), int64(0), "a", int64(0))
+	f.Add(int64(-1), "x", int64(-1), int64(1), "x", int64(1))
+	f.Fuzz(func(t *testing.T, rootA int64, subA string, streamA int64, rootB int64, subB string, streamB int64) {
+		a := Key(rootA, subA, streamA)
+		b := Key(rootB, subB, streamB)
+		if a == b {
+			t.Skip()
+		}
+		sa, sb := NewStream(a), NewStream(b)
+		const k = 8
+		for i := 0; i < k; i++ {
+			if sa.Uint64() != sb.Uint64() {
+				return
+			}
+		}
+		t.Errorf("distinct keys %v and %v share their first %d draws", a, b, k)
+	})
+}
+
+// FuzzDeriveSeedPathSensitivity: every extension of a derivation path must
+// move the seed — appending, and changing the last component.
+func FuzzDeriveSeedPathSensitivity(f *testing.F) {
+	f.Add(int64(1), "experiments/chaos", int64(3), int64(4))
+	f.Add(int64(-9), "soak", int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, root int64, sub string, p1, p2 int64) {
+		base := DeriveSeed(root, sub, p1)
+		if ext := DeriveSeed(root, sub, p1, p2); ext == base {
+			t.Errorf("appending path component %d did not change the seed (%d)", p2, base)
+		}
+		if p1 != p2 {
+			if other := DeriveSeed(root, sub, p2); other == base {
+				t.Errorf("paths [%d] and [%d] derive the same seed %d", p1, p2, base)
+			}
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package soak
+
+// verify.go is the determinism harness: it re-runs the soak pipeline under
+// perturbations that must not change the result (worker counts, a
+// checkpoint/resume boundary) and perturbations that must change exactly one
+// stage (one subsystem's parameters), and reports the first violated
+// contract. These are the two halves of the keyed-stream promise: identical
+// keys compose to identical results, and independent streams do not
+// contaminate each other.
+
+import (
+	"fmt"
+	"time"
+)
+
+// DeterminismWorkers are the worker counts every seed is replayed under; the
+// fingerprint must not depend on the parallelism.
+var DeterminismWorkers = []int{1, 4, 8}
+
+// ResumeDeadline is the per-call search budget of the checkpoint/resume arm:
+// long enough that every resume round makes progress, short enough that small
+// searches are interrupted at least occasionally.
+const ResumeDeadline = 25 * time.Millisecond
+
+// VerifyDeterminism runs the pipeline for every seed under each
+// DeterminismWorkers count and once more through the checkpoint/resume path,
+// and fails on the first fingerprint divergence. The returned results are the
+// baseline (first worker count) runs, one per seed.
+func VerifyDeterminism(cfg Config, seeds []int64) ([]*Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("soak: no seeds to verify")
+	}
+	out := make([]*Result, 0, len(seeds))
+	for _, seed := range seeds {
+		var base *Result
+		for _, w := range DeterminismWorkers {
+			c := cfg
+			c.Workers = w
+			r, err := Run(c, seed)
+			if err != nil {
+				return out, fmt.Errorf("soak: seed %d workers %d: %w", seed, w, err)
+			}
+			if base == nil {
+				base = r
+				out = append(out, r)
+				continue
+			}
+			if err := sameFingerprint(base, r, fmt.Sprintf("workers %d vs %d", DeterminismWorkers[0], w)); err != nil {
+				return out, err
+			}
+		}
+		// Checkpoint/resume arm: the search is repeatedly interrupted at its
+		// deadline and resumed from the checkpoint; the composed run must be
+		// byte-identical to the uninterrupted one.
+		c := cfg
+		c.Workers = DeterminismWorkers[0]
+		c.TrialDeadline = ResumeDeadline
+		r, err := Run(c, seed)
+		if err != nil {
+			return out, fmt.Errorf("soak: seed %d resume arm: %w", seed, err)
+		}
+		if err := sameFingerprint(base, r, fmt.Sprintf("uninterrupted vs resumed (%d resume rounds)", r.SearchResumes)); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// IsolationArm is one perturbation of a single subsystem together with the
+// stages whose digests it is allowed to change.
+type IsolationArm struct {
+	Name string
+	// Mutate perturbs exactly one subsystem's parameters.
+	Mutate func(*Config)
+	// Changed names the stage digests the perturbation must change (a
+	// perturbation that changes nothing would make the check vacuous);
+	// every stage not listed in Changed or Downstream must stay identical.
+	Changed []string
+	// Downstream names stages that legitimately depend on the perturbed
+	// subsystem's output (e.g. the replay consumes the fault trace), so
+	// their digests are unconstrained.
+	Downstream []string
+}
+
+// isolationArms are the standard perturbations: one per sampled subsystem.
+// The control and replay stages compose the fault trace, the surge trace,
+// and the search result, so they are downstream of every arm; the system,
+// alloc, faults and surge digests are pure stream outputs, and only the
+// perturbed one may move.
+func isolationArms() []IsolationArm {
+	return []IsolationArm{
+		{
+			Name:       "faults",
+			Mutate:     func(c *Config) { c.Hits++; c.RouteOutages++ },
+			Changed:    []string{"faults"},
+			Downstream: []string{"control", "sim"},
+		},
+		{
+			Name:       "surge",
+			Mutate:     func(c *Config) { c.Bursts += 2; c.MaxFactor += 0.5 },
+			Changed:    []string{"surge"},
+			Downstream: []string{"control", "sim"},
+		},
+		{
+			Name:       "search",
+			Mutate:     func(c *Config) { c.PSGIters += 40; c.PSGTrials++ },
+			Changed:    nil, // a longer search may or may not find a different mapping
+			Downstream: []string{"alloc", "control", "sim"},
+		},
+	}
+}
+
+// VerifyIsolation runs the baseline pipeline and one arm per subsystem that
+// consumes strictly more randomness from that subsystem's streams, then
+// checks the digest matrix: stages outside the perturbed subsystem's cone
+// must be bit-identical, and the perturbed stage must actually differ. This
+// is the cross-contamination check — under the old shared-seed derivations,
+// drawing more fault scenarios shifted the surge trace and vice versa.
+func VerifyIsolation(cfg Config, seed int64) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	base, err := Run(cfg, seed)
+	if err != nil {
+		return nil, fmt.Errorf("soak: isolation baseline: %w", err)
+	}
+	for _, arm := range isolationArms() {
+		c := cfg
+		arm.Mutate(&c)
+		r, err := Run(c, seed)
+		if err != nil {
+			return base, fmt.Errorf("soak: isolation arm %s: %w", arm.Name, err)
+		}
+		free := map[string]bool{}
+		for _, s := range arm.Changed {
+			free[s] = true
+		}
+		for _, s := range arm.Downstream {
+			free[s] = true
+		}
+		baseStages, armStages := base.Stages(), r.Stages()
+		for i := range baseStages {
+			name := baseStages[i].Name
+			if free[name] {
+				continue
+			}
+			if baseStages[i].Digest != armStages[i].Digest {
+				return base, fmt.Errorf(
+					"soak: isolation violated: perturbing %s changed the %s stage (seed %d: %s -> %s)",
+					arm.Name, name, seed, baseStages[i].Digest, armStages[i].Digest)
+			}
+		}
+		for _, name := range arm.Changed {
+			same := true
+			for i := range baseStages {
+				if baseStages[i].Name == name && baseStages[i].Digest != armStages[i].Digest {
+					same = false
+				}
+			}
+			if same {
+				return base, fmt.Errorf(
+					"soak: isolation arm %s is vacuous: the %s stage digest did not change (seed %d)",
+					arm.Name, name, seed)
+			}
+		}
+	}
+	return base, nil
+}
+
+func sameFingerprint(a, b *Result, what string) error {
+	if a.Fingerprint == b.Fingerprint {
+		return nil
+	}
+	as, bs := a.Stages(), b.Stages()
+	for i := range as {
+		if as[i].Digest != bs[i].Digest {
+			return fmt.Errorf("soak: determinism violated at key %s (%s): %s stage %s vs %s",
+				a.Key, what, as[i].Name, as[i].Digest, bs[i].Digest)
+		}
+	}
+	return fmt.Errorf("soak: determinism violated at key %s (%s): fingerprint %s vs %s",
+		a.Key, what, a.Fingerprint, b.Fingerprint)
+}

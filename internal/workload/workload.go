@@ -9,9 +9,11 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/model"
+	"repro/internal/rng"
 )
 
 // Scenario selects one of the paper's three workload scenarios.
@@ -186,7 +188,27 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// Validate reports configuration errors.
+// checkRange validates one named sampling range: inverted bounds (min > max)
+// are always an error — Sample would silently draw outside the interval — and
+// the bounds must respect the field's domain. A degenerate range (min == max)
+// is valid and Sample returns the single point exactly.
+func checkRange(field string, r Range, minFloor float64, floorExclusive bool, maxCeil float64) error {
+	if r.Min > r.Max {
+		return fmt.Errorf("workload: %s range inverted: min %v > max %v", field, r.Min, r.Max)
+	}
+	if floorExclusive && r.Min <= minFloor {
+		return fmt.Errorf("workload: %s range min %v, want > %v", field, r.Min, minFloor)
+	}
+	if !floorExclusive && r.Min < minFloor {
+		return fmt.Errorf("workload: %s range min %v, want >= %v", field, r.Min, minFloor)
+	}
+	if r.Max > maxCeil {
+		return fmt.Errorf("workload: %s range max %v, want <= %v", field, r.Max, maxCeil)
+	}
+	return nil
+}
+
+// Validate reports configuration errors, naming the offending field.
 func (c Config) Validate() error {
 	switch {
 	case c.Machines < 1:
@@ -195,19 +217,27 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: %d strings", c.Strings)
 	case c.MaxAppsPerString < 1:
 		return fmt.Errorf("workload: max %d applications per string", c.MaxAppsPerString)
-	case c.Bandwidth.Min <= 0 || c.Bandwidth.Max < c.Bandwidth.Min:
-		return fmt.Errorf("workload: bandwidth range %+v", c.Bandwidth)
-	case c.NominalTime.Min <= 0 || c.NominalTime.Max < c.NominalTime.Min:
-		return fmt.Errorf("workload: nominal time range %+v", c.NominalTime)
-	case c.NominalUtil.Min <= 0 || c.NominalUtil.Max > 1 || c.NominalUtil.Max < c.NominalUtil.Min:
-		return fmt.Errorf("workload: nominal utilization range %+v", c.NominalUtil)
-	case c.OutputKB.Min < 0 || c.OutputKB.Max < c.OutputKB.Min:
-		return fmt.Errorf("workload: output range %+v", c.OutputKB)
-	case c.MuLatency.Min <= 0 || c.MuLatency.Max < c.MuLatency.Min:
-		return fmt.Errorf("workload: µ latency range %+v", c.MuLatency)
-	case c.MuPeriod.Min <= 0 || c.MuPeriod.Max < c.MuPeriod.Min:
-		return fmt.Errorf("workload: µ period range %+v", c.MuPeriod)
-	case len(c.WorthLevels) == 0 || len(c.WorthLevels) != len(c.WorthWeights):
+	}
+	inf := math.Inf(1)
+	for _, rc := range []struct {
+		field          string
+		r              Range
+		minFloor       float64
+		floorExclusive bool
+		maxCeil        float64
+	}{
+		{"bandwidth", c.Bandwidth, 0, true, inf},
+		{"nominal time", c.NominalTime, 0, true, inf},
+		{"nominal utilization", c.NominalUtil, 0, true, 1},
+		{"output", c.OutputKB, 0, false, inf},
+		{"µ latency", c.MuLatency, 0, true, inf},
+		{"µ period", c.MuPeriod, 0, true, inf},
+	} {
+		if err := checkRange(rc.field, rc.r, rc.minFloor, rc.floorExclusive, rc.maxCeil); err != nil {
+			return err
+		}
+	}
+	if len(c.WorthLevels) == 0 || len(c.WorthLevels) != len(c.WorthWeights) {
 		return fmt.Errorf("workload: %d worth levels with %d weights", len(c.WorthLevels), len(c.WorthWeights))
 	}
 	total := 0.0
@@ -229,7 +259,7 @@ func Generate(cfg Config, seed int64) (*model.System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rnd := rng.NewRand(seed, rng.SubsystemWorkload, 0)
 	sys := &model.System{Machines: cfg.Machines}
 
 	// Hardware first: the µ formulas need the system's average inverse
@@ -241,7 +271,7 @@ func Generate(cfg Config, seed int64) (*model.System, error) {
 		sys.Bandwidth[j1] = make([]float64, cfg.Machines)
 		for j2 := range sys.Bandwidth[j1] {
 			if j1 != j2 {
-				sys.Bandwidth[j1][j2] = cfg.Bandwidth.Sample(rng)
+				sys.Bandwidth[j1][j2] = cfg.Bandwidth.Sample(rnd)
 			}
 		}
 	}
@@ -253,20 +283,20 @@ func Generate(cfg Config, seed int64) (*model.System, error) {
 	if cfg.Heterogeneity == Consistent {
 		speed = make([]float64, cfg.Machines)
 		for j := range speed {
-			speed[j] = 0.75 + 0.5*rng.Float64()
+			speed[j] = 0.75 + 0.5*rnd.Float64()
 		}
 	}
 
 	for q := 0; q < cfg.Strings; q++ {
-		n := 1 + rng.Intn(cfg.MaxAppsPerString)
+		n := 1 + rnd.Intn(cfg.MaxAppsPerString)
 		apps := make([]model.Application, n)
 		for i := range apps {
 			apps[i] = model.Application{
 				NominalTime: make([]float64, cfg.Machines),
 				NominalUtil: make([]float64, cfg.Machines),
-				OutputKB:    cfg.OutputKB.Sample(rng),
+				OutputKB:    cfg.OutputKB.Sample(rnd),
 			}
-			base := cfg.NominalTime.Sample(rng)
+			base := cfg.NominalTime.Sample(rnd)
 			for j := 0; j < cfg.Machines; j++ {
 				if cfg.Heterogeneity == Consistent {
 					t := base * speed[j]
@@ -278,13 +308,13 @@ func Generate(cfg Config, seed int64) (*model.System, error) {
 					}
 					apps[i].NominalTime[j] = t
 				} else {
-					apps[i].NominalTime[j] = cfg.NominalTime.Sample(rng)
+					apps[i].NominalTime[j] = cfg.NominalTime.Sample(rnd)
 				}
-				apps[i].NominalUtil[j] = cfg.NominalUtil.Sample(rng)
+				apps[i].NominalUtil[j] = cfg.NominalUtil.Sample(rnd)
 			}
 		}
 		s := model.AppString{
-			Worth: pickWorth(cfg, rng),
+			Worth: pickWorth(cfg, rnd),
 			Apps:  apps,
 		}
 		k := sys.AddString(s)
@@ -308,8 +338,8 @@ func Generate(cfg Config, seed int64) (*model.System, error) {
 				}
 			}
 		}
-		str.MaxLatency = cfg.MuLatency.Sample(rng) * latencyBase
-		str.Period = cfg.MuPeriod.Sample(rng) * periodBase
+		str.MaxLatency = cfg.MuLatency.Sample(rnd) * latencyBase
+		str.Period = cfg.MuPeriod.Sample(rnd) * periodBase
 	}
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: generated invalid system: %w", err)
@@ -327,12 +357,12 @@ func MustGenerate(cfg Config, seed int64) *model.System {
 	return sys
 }
 
-func pickWorth(cfg Config, rng *rand.Rand) float64 {
+func pickWorth(cfg Config, rnd *rand.Rand) float64 {
 	total := 0.0
 	for _, w := range cfg.WorthWeights {
 		total += w
 	}
-	r := rng.Float64() * total
+	r := rnd.Float64() * total
 	for idx, w := range cfg.WorthWeights {
 		if r < w {
 			return cfg.WorthLevels[idx]

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/model"
@@ -288,6 +289,61 @@ func TestRangeSample(t *testing.T) {
 	}
 	if r.Contains(1.9) || r.Contains(5.1) {
 		t.Error("Contains accepts out-of-range values")
+	}
+}
+
+// TestRangeSampleDegenerate: a degenerate range (lo == hi) is valid and every
+// sample is exactly the single point — no floating-point wobble — while still
+// consuming one draw so stream positions stay aligned.
+func TestRangeSampleDegenerate(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	r := Range{3.7, 3.7}
+	for i := 0; i < 100; i++ {
+		if v := r.Sample(rnd); v != 3.7 {
+			t.Fatalf("degenerate sample %d = %v, want exactly 3.7", i, v)
+		}
+	}
+	// One draw per sample: a sibling generator that mirrors the draws stays
+	// in lockstep with one that sampled the degenerate range.
+	a, b := rand.New(rand.NewSource(2)), rand.New(rand.NewSource(2))
+	r.Sample(a)
+	b.Float64()
+	if a.Float64() != b.Float64() {
+		t.Error("degenerate Sample consumed a different number of draws than one Float64")
+	}
+	cfg := ScenarioConfig(LightlyLoaded)
+	cfg.NominalTime = Range{5, 5}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("degenerate (lo == hi) range rejected: %v", err)
+	}
+}
+
+// TestValidateInvertedRanges: every Range field rejects inverted bounds with
+// an error naming the field, so a transposed {hi, lo} literal fails loudly
+// instead of silently sampling outside the interval.
+func TestValidateInvertedRanges(t *testing.T) {
+	cases := []struct {
+		field  string
+		mutate func(*Config)
+	}{
+		{"bandwidth", func(c *Config) { c.Bandwidth = Range{10, 1} }},
+		{"nominal time", func(c *Config) { c.NominalTime = Range{10, 1} }},
+		{"nominal utilization", func(c *Config) { c.NominalUtil = Range{1, 0.1} }},
+		{"output", func(c *Config) { c.OutputKB = Range{100, 10} }},
+		{"µ latency", func(c *Config) { c.MuLatency = Range{6, 4} }},
+		{"µ period", func(c *Config) { c.MuPeriod = Range{4.5, 3} }},
+	}
+	for _, c := range cases {
+		cfg := ScenarioConfig(HighlyLoaded)
+		c.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: inverted range accepted", c.field)
+			continue
+		}
+		if !strings.Contains(err.Error(), "inverted") || !strings.Contains(err.Error(), c.field) {
+			t.Errorf("%s: error %q does not name the inverted field", c.field, err)
+		}
 	}
 }
 

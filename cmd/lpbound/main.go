@@ -10,6 +10,7 @@
 //	lpbound -scenario 3 -objective slackness           # slackness UB
 //	lpbound -scenario 3 -form full -objective slackness
 //	lpbound -in system.json -objective worth
+//	lpbound -scenario 1 -rescale 1.2 -warm             # warm-started re-solve
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/dynamic"
 	"repro/internal/lp"
 	"repro/internal/model"
 	"repro/internal/simplex"
@@ -36,6 +38,8 @@ func main() {
 		maxVars   = flag.Int("max-vars", 0, "variable-count guard (0 = default 400000)")
 		fractions = flag.Bool("fractions", false, "print per-string mapped fractions")
 		shadow    = flag.Bool("shadow", false, "print per-machine capacity shadow prices (bottleneck report)")
+		rescale   = flag.Float64("rescale", 0, "re-solve after uniformly scaling every string's demand by this factor (0 = off)")
+		warm      = flag.Bool("warm", false, "warm-start the -rescale re-solve from the base optimal basis and report the pivot savings")
 	)
 	flag.Parse()
 
@@ -99,6 +103,35 @@ func main() {
 			for j, sp := range b.MachineShadowPrice {
 				fmt.Printf("  machine %-3d %.4f\n", j, sp)
 			}
+		}
+	}
+
+	if *rescale > 0 {
+		scaled, err := dynamic.ScaleWorkload(sys, *rescale)
+		fatal(err)
+		cfg := lp.Config{
+			Formulation:      formulation,
+			Objective:        obj,
+			LiteralObjective: *literal,
+			MaxVariables:     *maxVars,
+		}
+		if *warm {
+			cfg.WarmBasis = b.Basis
+		}
+		start := time.Now()
+		rb, err := lp.UpperBound(scaled, cfg)
+		fatal(err)
+		elapsed := time.Since(start)
+		path := "cold"
+		if rb.WarmStarted {
+			path = "warm (basis reused)"
+		} else if *warm {
+			path = "cold (warm basis unusable, fell back)"
+		}
+		fmt.Printf("re-solve at demand x%.3g: %v, bound %.4f, %d iterations, %v, %s\n",
+			*rescale, rb.Status, rb.Objective, rb.Iterations, elapsed.Round(time.Millisecond), path)
+		if *warm && rb.WarmStarted {
+			fmt.Printf("warm start saved %d of the base solve's %d pivots\n", b.Iterations-rb.Iterations, b.Iterations)
 		}
 	}
 }

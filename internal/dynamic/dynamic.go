@@ -198,26 +198,27 @@ func Repair(alloc *feasibility.Allocation, mapped []bool) *Result {
 // pickVictim selects the next string to act on: among strings implicated by
 // stage-2 violations or assigned to over-utilized resources, the one with the
 // lowest worth (ties: tightest first so the disruptive re-placement helps the
-// most constrained string, then lowest ID).
-func pickVictim(alloc *feasibility.Allocation, mapped []bool) int {
+// most constrained string, then lowest ID). Violations and overloads come
+// from the delta analyzer's committed sets — O(damage + active routes)
+// instead of a fresh full scan per call — and worth/tightness ties use the
+// epsilon comparison so float noise cannot flip the victim choice between
+// otherwise-identical runs.
+func (r *repairer) pickVictim() int {
+	alloc := r.alloc
 	sys := alloc.System()
 	implicated := map[int]bool{}
-	for _, v := range alloc.Violations() {
+	for _, v := range r.da.ViolationsAfterDelta() {
 		implicated[v.StringID] = true
 	}
-	for j := 0; j < sys.Machines; j++ {
-		if alloc.MachineUtilization(j) > 1+1e-9 {
-			markStringsOnMachine(alloc, j, implicated)
-		}
-		for j2 := 0; j2 < sys.Machines; j2++ {
-			if j != j2 && alloc.RouteUtilization(j, j2) > 1+1e-9 {
-				markStringsOnRoute(alloc, j, j2, implicated)
-			}
-		}
+	for _, j := range r.da.OverloadedMachines() {
+		markStringsOnMachine(alloc, j, implicated)
+	}
+	for _, rt := range r.da.OverloadedRoutes() {
+		markStringsOnRoute(alloc, rt[0], rt[1], implicated)
 	}
 	best := -1
 	for k := range implicated {
-		if !mapped[k] || !alloc.Complete(k) {
+		if !r.mapped[k] || !alloc.Complete(k) {
 			continue
 		}
 		if best < 0 {
@@ -226,11 +227,18 @@ func pickVictim(alloc *feasibility.Allocation, mapped []bool) int {
 		}
 		wk, wb := sys.Strings[k].Worth, sys.Strings[best].Worth
 		switch {
-		case wk < wb:
-			best = k
-		case wk == wb:
+		case !feasibility.AlmostEqual(wk, wb):
+			if wk < wb {
+				best = k
+			}
+		default:
 			tk, tb := alloc.Tightness(k), alloc.Tightness(best)
-			if tk > tb || (tk == tb && k < best) {
+			switch {
+			case !feasibility.AlmostEqual(tk, tb):
+				if tk > tb {
+					best = k
+				}
+			case k < best:
 				best = k
 			}
 		}
@@ -338,14 +346,17 @@ func bottleneckStrings(alloc *feasibility.Allocation, mapped []bool) []int {
 		if u := alloc.MachineUtilization(j); u > bestU {
 			bestU, bestMachine, bestJ1, bestJ2 = u, j, -1, -1
 		}
-		for j2 := 0; j2 < sys.Machines; j2++ {
-			if j != j2 {
-				if u := alloc.RouteUtilization(j, j2); u > bestU {
-					bestU, bestMachine, bestJ1, bestJ2 = u, -1, j, j2
-				}
-			}
-		}
 	}
+	// Idle routes sit at exactly zero utilization and can never beat the
+	// machine maximum found above, so only active routes need scanning. The
+	// active-route order is unspecified, but a strict > comparison over a set
+	// of candidates is order-insensitive up to exact-utilization ties, which
+	// the deterministic machine scan above already resolved.
+	alloc.ActiveRoutes(func(j1, j2 int, u float64) {
+		if u > bestU {
+			bestU, bestMachine, bestJ1, bestJ2 = u, -1, j1, j2
+		}
+	})
 	set := map[int]bool{}
 	if bestMachine >= 0 {
 		markStringsOnMachine(alloc, bestMachine, set)

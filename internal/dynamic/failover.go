@@ -31,6 +31,8 @@ var ErrUnknownResource = errors.New("unknown machine or route")
 // the allocation and mapped flags in place and records the action log.
 type repairer struct {
 	alloc     *feasibility.Allocation
+	da        *feasibility.DeltaAnalyzer // incremental analysis over alloc
+	ownsDA    bool                       // whether result() should Close da
 	mapped    []bool
 	machineOK func(j int) bool      // nil: all machines allowed
 	routeOK   func(j1, j2 int) bool // nil: all routes allowed
@@ -71,8 +73,20 @@ func newRepairTelemetry() repairTelemetry {
 
 func newRepairer(alloc *feasibility.Allocation, mapped []bool, machineOK func(int) bool, routeOK func(int, int) bool) *repairer {
 	sys := alloc.System()
+	// Track the allocation for incremental re-analysis; the initial Rebase
+	// (one full scan) also records any entry violations and overloads, so
+	// repair works from infeasible entry states without special-casing. An
+	// analyzer a caller already attached is reused (its pending window is
+	// committed by the repair loop) and left attached.
+	da := alloc.Tracker()
+	owns := da == nil
+	if owns {
+		da = feasibility.Track(alloc)
+	}
 	return &repairer{
 		alloc:     alloc,
+		da:        da,
+		ownsDA:    owns,
 		mapped:    mapped,
 		machineOK: machineOK,
 		routeOK:   routeOK,
@@ -133,25 +147,33 @@ func (r *repairer) evict(k int) {
 // allowed resources: while the two-stage analysis fails, the lowest-worth
 // implicated string is unassigned, re-placed once by the (masked) IMR, and
 // evicted if the placement is infeasible or a second repair becomes
-// necessary.
+// necessary. Each iteration commits its net effect, so the feasibility check
+// at the top re-evaluates only the committed violation and overload sets —
+// O(remaining damage) instead of a full O(M + K·rosters) scan per iteration.
 func (r *repairer) repairLoop() {
-	for !r.alloc.TwoStageFeasible() {
+	for {
+		r.da.Commit()
+		if r.da.FeasibleAfterDelta() {
+			break
+		}
 		r.tel.repairIters.Inc()
-		victim := pickVictim(r.alloc, r.mapped)
+		victim := r.pickVictim()
 		if victim < 0 {
 			break // no implicated string found (should not happen)
 		}
 		r.rememberOrigin(victim)
-		r.alloc.UnassignString(victim)
 		if !r.tried[victim] {
 			r.tried[victim] = true
-			if heuristics.MapStringIMRMasked(r.alloc, victim, r.machineOK, r.routeOK) {
-				if r.alloc.FeasibleAfterAdding(victim) {
-					r.placeAction(victim, Migrated)
-					continue
-				}
-				r.alloc.UnassignString(victim)
+			r.alloc.UnassignString(victim)
+			if heuristics.MapStringIMRMasked(r.alloc, victim, r.machineOK, r.routeOK) && r.da.FeasibleAfterDelta() {
+				r.da.Commit()
+				r.placeAction(victim, Migrated)
+				continue
 			}
+			// No placement, or an infeasible one: roll the whole attempt back
+			// bit-identically (victim returns to its pre-attempt machines) and
+			// fall through to evict it from there.
+			r.da.Undo()
 		}
 		r.evict(victim)
 	}
@@ -177,15 +199,17 @@ func (r *repairer) reclaim() {
 		progressed := false
 		for _, k := range cands {
 			if !heuristics.MapStringIMRMasked(r.alloc, k, r.machineOK, r.routeOK) {
+				r.da.Undo() // drop any partial-placement residue
 				continue
 			}
-			if r.alloc.FeasibleAfterAdding(k) {
+			if r.da.FeasibleAfterDelta() {
+				r.da.Commit()
 				r.mapped[k] = true
 				delete(r.evicted, k)
 				r.placeAction(k, Reclaimed)
 				progressed = true
 			} else {
-				r.alloc.UnassignString(k)
+				r.da.Undo()
 			}
 		}
 		if !progressed {
@@ -195,7 +219,8 @@ func (r *repairer) reclaim() {
 	}
 }
 
-// result finalizes the metrics.
+// result finalizes the metrics and releases the analyzer if this repairer
+// attached it.
 func (r *repairer) result() *Result {
 	res := r.res
 	res.WorthAfter = mappedWorth(r.alloc.System(), r.mapped)
@@ -207,7 +232,11 @@ func (r *repairer) result() *Result {
 		res.CostSeconds += a.CostSeconds
 	}
 	res.SlacknessAfter = r.alloc.Slackness()
-	res.Feasible = r.alloc.TwoStageFeasible()
+	r.da.Commit()
+	res.Feasible = r.da.FeasibleAfterDelta()
+	if r.ownsDA {
+		r.da.Close()
+	}
 	return res
 }
 
@@ -329,10 +358,12 @@ func UsesFailed(alloc *feasibility.Allocation, down *faults.Set) bool {
 }
 
 // sortByWorthDesc orders string indices by worth, highest first, ties by ID.
+// Worths that differ only by float noise compare equal (feasibility.
+// AlmostEqual) so the ID tie-break, not accumulation order, decides.
 func sortByWorthDesc(sys *model.System, ks []int) {
 	sort.Slice(ks, func(a, b int) bool {
 		wa, wb := sys.Strings[ks[a]].Worth, sys.Strings[ks[b]].Worth
-		if wa != wb {
+		if !feasibility.AlmostEqual(wa, wb) {
 			return wa > wb
 		}
 		return ks[a] < ks[b]

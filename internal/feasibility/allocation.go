@@ -13,6 +13,7 @@ package feasibility
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/model"
@@ -50,6 +51,17 @@ type Allocation struct {
 	perRoute   [][][]appRef // [j1][j2] -> producing apps whose output uses the route
 
 	tightness []float64 // T[k] per equation (4); NaN until string k is complete
+
+	// Active-route bookkeeping: the (typically sparse) set of inter-machine
+	// routes whose roster is non-empty, so stage-1 scans and Slackness run in
+	// O(M + active routes) instead of O(M^2). routePos[j1][j2] indexes into
+	// usedRoutes, or is -1 when the route carries no transfer. When a route's
+	// roster empties its residual float utilization is zeroed, so inactive
+	// routes always report exactly 0.
+	usedRoutes [][2]int
+	routePos   [][]int
+
+	tracker *DeltaAnalyzer // attached change tracker, nil when untracked
 
 	tel allocTelemetry // shared hot-path counters; nil fields when disabled
 }
@@ -107,6 +119,7 @@ func New(sys *model.System) *Allocation {
 		perMachine:  make([][]appRef, m),
 		perRoute:    make([][][]appRef, m),
 		tightness:   make([]float64, len(sys.Strings)),
+		routePos:    make([][]int, m),
 		tel:         newAllocTelemetry(),
 	}
 	for k := range sys.Strings {
@@ -119,6 +132,10 @@ func New(sys *model.System) *Allocation {
 	for j := 0; j < m; j++ {
 		a.routeUtil[j] = make([]float64, m)
 		a.perRoute[j] = make([][]appRef, m)
+		a.routePos[j] = make([]int, m)
+		for j2 := 0; j2 < m; j2++ {
+			a.routePos[j][j2] = -1
+		}
 	}
 	return a
 }
@@ -169,6 +186,9 @@ func (a *Allocation) Assign(k, i, j int) {
 	if j < 0 || j >= a.sys.Machines {
 		panic(fmt.Sprintf("feasibility: machine %d out of range [0,%d)", j, a.sys.Machines))
 	}
+	if a.tracker != nil {
+		a.tracker.beforeAssign(k, i, j)
+	}
 	s := &a.sys.Strings[k]
 	a.machineOf[k][i] = j
 	a.nAssigned[k]++
@@ -194,6 +214,9 @@ func (a *Allocation) Unassign(k, i int) {
 	j := a.machineOf[k][i]
 	if j == Unassigned {
 		panic(fmt.Sprintf("feasibility: application (%d,%d) is not assigned", k, i))
+	}
+	if a.tracker != nil {
+		a.tracker.beforeUnassign(k, i)
 	}
 	s := &a.sys.Strings[k]
 	if a.Complete(k) {
@@ -251,6 +274,9 @@ func (a *Allocation) addRoute(j1, j2, k, i int) {
 	s := &a.sys.Strings[k]
 	a.routeUtil[j1][j2] += a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
 	a.perRoute[j1][j2] = append(a.perRoute[j1][j2], appRef{k, i})
+	if len(a.perRoute[j1][j2]) == 1 {
+		a.activateRoute(j1, j2)
+	}
 }
 
 func (a *Allocation) removeRoute(j1, j2, k, i int) {
@@ -260,6 +286,54 @@ func (a *Allocation) removeRoute(j1, j2, k, i int) {
 	s := &a.sys.Strings[k]
 	a.routeUtil[j1][j2] -= a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
 	a.perRoute[j1][j2] = removeRef(a.perRoute[j1][j2], appRef{k, i})
+	if len(a.perRoute[j1][j2]) == 0 {
+		// Zero the float residue so an emptied route is exactly empty; the
+		// delta analyzer's Undo and the active-route scans rely on it.
+		a.routeUtil[j1][j2] = 0
+		a.deactivateRoute(j1, j2)
+	}
+}
+
+// activateRoute adds (j1, j2) to the active-route list.
+func (a *Allocation) activateRoute(j1, j2 int) {
+	a.routePos[j1][j2] = len(a.usedRoutes)
+	a.usedRoutes = append(a.usedRoutes, [2]int{j1, j2})
+}
+
+// deactivateRoute swap-removes (j1, j2) from the active-route list.
+func (a *Allocation) deactivateRoute(j1, j2 int) {
+	idx := a.routePos[j1][j2]
+	last := len(a.usedRoutes) - 1
+	moved := a.usedRoutes[last]
+	a.usedRoutes[idx] = moved
+	a.routePos[moved[0]][moved[1]] = idx
+	a.usedRoutes = a.usedRoutes[:last]
+	a.routePos[j1][j2] = -1
+}
+
+// syncRouteActive reconciles the active-route list with the roster of
+// (j1, j2) after the roster was restored wholesale (DeltaAnalyzer.Undo).
+func (a *Allocation) syncRouteActive(j1, j2 int) {
+	active := len(a.perRoute[j1][j2]) > 0
+	switch {
+	case active && a.routePos[j1][j2] < 0:
+		a.activateRoute(j1, j2)
+	case !active && a.routePos[j1][j2] >= 0:
+		a.deactivateRoute(j1, j2)
+	}
+}
+
+// ActiveRoutes calls f for every inter-machine route currently carrying at
+// least one transfer, in unspecified order, passing the route's endpoints and
+// its equation-(3) utilization. Routes with an empty roster have exactly zero
+// utilization and are skipped; iterating them could never change a
+// minimum-slack or over-threshold scan, which is what makes the O(M + active)
+// loops in Slackness and the degradation controller equivalent to the old
+// O(M^2) sweeps.
+func (a *Allocation) ActiveRoutes(f func(j1, j2 int, util float64)) {
+	for _, r := range a.usedRoutes {
+		f(r[0], r[1], a.routeUtil[r[0]][r[1]])
+	}
 }
 
 func removeRef(refs []appRef, r appRef) []appRef {
@@ -308,16 +382,23 @@ func (a *Allocation) Reset() {
 	for j := range a.machineUtil {
 		a.machineUtil[j] = 0
 		a.perMachine[j] = a.perMachine[j][:0]
-		ru, pr := a.routeUtil[j], a.perRoute[j]
-		for j2 := range ru {
-			ru[j2] = 0
-			pr[j2] = pr[j2][:0]
-		}
+	}
+	// Only active routes can hold non-zero state; clearing just those keeps
+	// Reset O(M + active) on sparse mappings.
+	for _, r := range a.usedRoutes {
+		a.routeUtil[r[0]][r[1]] = 0
+		a.perRoute[r[0]][r[1]] = a.perRoute[r[0]][r[1]][:0]
+		a.routePos[r[0]][r[1]] = -1
+	}
+	a.usedRoutes = a.usedRoutes[:0]
+	if a.tracker != nil {
+		a.tracker.rebaseEmpty()
 	}
 }
 
 // Clone returns an independent deep copy of the allocation sharing the same
-// (immutable) system.
+// (immutable) system. A DeltaAnalyzer attached to the receiver is not carried
+// over; the clone starts untracked.
 func (a *Allocation) Clone() *Allocation {
 	cp := &Allocation{
 		sys:         a.sys,
@@ -328,6 +409,8 @@ func (a *Allocation) Clone() *Allocation {
 		perMachine:  make([][]appRef, len(a.perMachine)),
 		perRoute:    make([][][]appRef, len(a.perRoute)),
 		tightness:   append([]float64(nil), a.tightness...),
+		usedRoutes:  append([][2]int(nil), a.usedRoutes...),
+		routePos:    make([][]int, len(a.routePos)),
 		tel:         a.tel,
 	}
 	for k := range a.machineOf {
@@ -340,6 +423,42 @@ func (a *Allocation) Clone() *Allocation {
 		for j2 := range a.perRoute[j] {
 			cp.perRoute[j][j2] = append([]appRef(nil), a.perRoute[j][j2]...)
 		}
+		cp.routePos[j] = append([]int(nil), a.routePos[j]...)
 	}
 	return cp
+}
+
+// WriteState writes a canonical textual fingerprint of the observable
+// allocation state to w: assignments, utilizations (exact IEEE-754 bit
+// patterns), roster contents in roster order, and cached tightness values.
+// Roster order is included because the waiting-time sums of equations (5) and
+// (6) accumulate in roster order, making it observable through float64
+// rounding. The internal active-route list order is excluded: minimum and
+// threshold scans over it are order-insensitive. Two allocations with equal
+// fingerprints are behaviorally identical.
+func (a *Allocation) WriteState(w io.Writer) error {
+	for k := range a.machineOf {
+		if _, err := fmt.Fprintf(w, "s%d n%d t%016x %v\n",
+			k, a.nAssigned[k], math.Float64bits(a.tightness[k]), a.machineOf[k]); err != nil {
+			return err
+		}
+	}
+	for j := range a.machineUtil {
+		if _, err := fmt.Fprintf(w, "m%d u%016x %v\n",
+			j, math.Float64bits(a.machineUtil[j]), a.perMachine[j]); err != nil {
+			return err
+		}
+	}
+	for j1 := range a.routeUtil {
+		for j2 := range a.routeUtil[j1] {
+			if j1 == j2 || len(a.perRoute[j1][j2]) == 0 && a.routeUtil[j1][j2] == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "r%d,%d u%016x %v\n",
+				j1, j2, math.Float64bits(a.routeUtil[j1][j2]), a.perRoute[j1][j2]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -179,18 +179,17 @@ func (a *Allocation) checkString(k int) *Violation {
 
 // Stage1Feasible runs the first-stage analysis of Section 3: every machine
 // and every communication route must have overall utilization no larger than
-// one.
+// one. Routes with no transfers have exactly zero utilization, so only the
+// active-route list needs scanning: O(M + active) instead of O(M^2).
 func (a *Allocation) Stage1Feasible() bool {
 	for j := 0; j < a.sys.Machines; j++ {
 		if a.machineUtil[j] > 1+utilEps {
 			return false
 		}
 	}
-	for j1 := 0; j1 < a.sys.Machines; j1++ {
-		for j2 := 0; j2 < a.sys.Machines; j2++ {
-			if j1 != j2 && a.routeUtil[j1][j2] > 1+utilEps {
-				return false
-			}
+	for _, r := range a.usedRoutes {
+		if a.routeUtil[r[0]][r[1]] > 1+utilEps {
+			return false
 		}
 	}
 	return true
@@ -232,13 +231,16 @@ func (a *Allocation) Violations() []Violation {
 // strings string k can affect are rechecked:
 //
 //   - first stage: the machines and routes string k uses;
-//   - second stage: string k itself, plus every completely mapped string with
-//     lower priority than k that shares a machine or a route with k (tighter
-//     strings are unaffected because waiting terms only flow downward in
-//     priority).
+//   - second stage: string k itself, plus every completely mapped string at
+//     equal or lower tightness than k that shares a machine or a route with
+//     k. Only strings with strictly higher tightness are skipped: waiting
+//     terms flow downward in priority, but exact tightness ties are broken
+//     by string ID in tighter, so adding k with T[k] equal to an existing
+//     string z can demote z and change z's equation-(5)/(6) waits — ties
+//     must be rechecked, not skipped.
 //
 // The result equals TwoStageFeasible given the precondition; a property test
-// enforces that equivalence.
+// (including forced-tie workloads) enforces that equivalence.
 func (a *Allocation) FeasibleAfterAdding(k int) bool {
 	if !a.Complete(k) {
 		panic(fmt.Sprintf("feasibility: FeasibleAfterAdding on incompletely mapped string %d", k))
@@ -286,8 +288,10 @@ func (a *Allocation) FeasibleAfterAdding(k int) bool {
 		}
 	}
 	for z := range affected {
-		if !a.Complete(z) || a.tighter(z, k) {
-			continue // tighter strings cannot be slowed by k
+		if !a.Complete(z) || a.tightness[z] > a.tightness[k] {
+			// Strictly tighter strings cannot be slowed by k. Equal
+			// tightness falls through: the ID tie-break can demote z.
+			continue
 		}
 		if a.CheckString(z) != nil {
 			return false
@@ -300,6 +304,8 @@ func (a *Allocation) FeasibleAfterAdding(k int) bool {
 // capacity across all machines and all inter-machine communication routes.
 // It quantifies the system's potential to absorb unpredictable increases in
 // input workload. An empty system has slackness 1.
+// Routes with no transfers contribute slack exactly 1, which can never lower
+// the minimum, so only the active-route list is scanned: O(M + active).
 func (a *Allocation) Slackness() float64 {
 	min := 1.0
 	for j := 0; j < a.sys.Machines; j++ {
@@ -307,14 +313,9 @@ func (a *Allocation) Slackness() float64 {
 			min = s
 		}
 	}
-	for j1 := 0; j1 < a.sys.Machines; j1++ {
-		for j2 := 0; j2 < a.sys.Machines; j2++ {
-			if j1 == j2 {
-				continue
-			}
-			if s := 1 - a.routeUtil[j1][j2]; s < min {
-				min = s
-			}
+	for _, r := range a.usedRoutes {
+		if s := 1 - a.routeUtil[r[0]][r[1]]; s < min {
+			min = s
 		}
 	}
 	return min
@@ -328,13 +329,36 @@ type Metric struct {
 	Slackness float64
 }
 
+// metricEps is the tolerance for comparing accumulated worth and slackness
+// sums. Totals that differ only by float64 accumulation-order noise (e.g.
+// worth folded in different orders by different worker counts) must compare
+// equal, or tie-breaks flip between runs that are semantically identical.
+const metricEps = 1e-9
+
+// AlmostEqual reports whether two accumulated float64 quantities (worth
+// sums, utilizations, worth-per-utilization ratios) are equal within the
+// metric tolerance, absolutely for small magnitudes and relatively for large
+// ones. Comparisons that rank allocations or pick victims must use this plus
+// a deterministic ID tie-break instead of exact float comparison.
+func AlmostEqual(a, b float64) bool {
+	d := math.Abs(a - b)
+	if d <= metricEps {
+		return true
+	}
+	return d <= metricEps*math.Max(math.Abs(a), math.Abs(b))
+}
+
 // Better reports whether m beats other lexicographically: higher worth wins;
-// equal worth falls through to higher slackness.
+// worth equal within tolerance falls through to higher slackness. Exact
+// float comparison is deliberately avoided — see AlmostEqual.
 func (m Metric) Better(other Metric) bool {
-	if m.Worth != other.Worth {
+	if !AlmostEqual(m.Worth, other.Worth) {
 		return m.Worth > other.Worth
 	}
-	return m.Slackness > other.Slackness
+	if !AlmostEqual(m.Slackness, other.Slackness) {
+		return m.Slackness > other.Slackness
+	}
+	return false
 }
 
 // Metric evaluates the allocation's performance over the completely mapped
@@ -390,6 +414,43 @@ func (a *Allocation) checkInvariants() error {
 		}
 		if a.Complete(k) && math.Abs(fresh.tightness[k]-a.tightness[k]) > 1e-9 {
 			return fmt.Errorf("string %d tightness drifted: incremental %v, fresh %v", k, a.tightness[k], fresh.tightness[k])
+		}
+		// The cached equation-(4) value must be exactly what computeTightness
+		// yields for the current mapping — bit-identical, since the cache is
+		// only ever written from computeTightness over the same machines. A
+		// stale cache (e.g. surviving a partial re-mapping) corrupts every
+		// subsequent tighter comparison.
+		if a.Complete(k) {
+			if want := a.computeTightness(k); math.Float64bits(a.tightness[k]) != math.Float64bits(want) {
+				return fmt.Errorf("string %d cached tightness stale: cached %v, computeTightness %v", k, a.tightness[k], want)
+			}
+		} else if !math.IsNaN(a.tightness[k]) {
+			return fmt.Errorf("string %d is incomplete but caches tightness %v (want NaN)", k, a.tightness[k])
+		}
+	}
+	// Active-route list consistency: routePos and usedRoutes must mirror each
+	// other, active routes must have non-empty rosters, and inactive routes
+	// must hold exactly zero utilization (emptying a route zeroes the float
+	// residue).
+	for idx, r := range a.usedRoutes {
+		if a.routePos[r[0]][r[1]] != idx {
+			return fmt.Errorf("route (%d,%d) position drifted: usedRoutes[%d] but routePos %d", r[0], r[1], idx, a.routePos[r[0]][r[1]])
+		}
+		if len(a.perRoute[r[0]][r[1]]) == 0 {
+			return fmt.Errorf("route (%d,%d) is active with an empty roster", r[0], r[1])
+		}
+	}
+	for j1 := 0; j1 < a.sys.Machines; j1++ {
+		for j2 := 0; j2 < a.sys.Machines; j2++ {
+			if j1 == j2 || a.routePos[j1][j2] >= 0 {
+				continue
+			}
+			if len(a.perRoute[j1][j2]) > 0 {
+				return fmt.Errorf("route (%d,%d) has %d transfers but is not in the active list", j1, j2, len(a.perRoute[j1][j2]))
+			}
+			if a.routeUtil[j1][j2] != 0 {
+				return fmt.Errorf("inactive route (%d,%d) holds residual utilization %v", j1, j2, a.routeUtil[j1][j2])
+			}
 		}
 	}
 	return nil

@@ -84,6 +84,7 @@ func (m *decodeMemo) store(key []byte, fit genitor.Fitness) {
 type seqDecoder struct {
 	sys     *model.System
 	scratch *feasibility.Allocation
+	delta   *feasibility.DeltaAnalyzer // persistent tracker over scratch
 	score   scoreFunc
 	memo    *decodeMemo
 	key     []byte // reusable 2-bytes-per-gene encoding buffer
@@ -106,9 +107,11 @@ func newDecoderBank(sys *model.System, score scoreFunc, lanes int) []genitor.Eva
 	}
 	evals := make([]genitor.Evaluator, lanes)
 	for i := range evals {
+		scratch := feasibility.New(sys)
 		d := &seqDecoder{
 			sys:      sys,
-			scratch:  feasibility.New(sys),
+			scratch:  scratch,
+			delta:    feasibility.Track(scratch),
 			score:    score,
 			memo:     memo,
 			key:      make([]byte, 0, 2*len(sys.Strings)),
@@ -134,24 +137,30 @@ func (d *seqDecoder) fitness(perm []int) genitor.Fitness {
 		return fit
 	}
 	d.memoMiss.Inc()
-	consumed := decodeInto(d.scratch, perm)
+	consumed := decodeDelta(d.delta, d.scratch, perm)
 	fit := d.score(d.scratch)
 	d.memo.store(d.key[:2*consumed], fit)
 	return fit
 }
 
-// decodeInto applies the stop-on-failure sequential mapping to the scratch
-// allocation (Reset first) and returns how many order entries were consumed:
-// the feasibly mapped prefix plus the string that failed, if any. After the
-// call, exactly the feasibly mapped strings are Complete in the scratch.
-func decodeInto(a *feasibility.Allocation, order []int) int {
+// decodeDelta applies the stop-on-failure sequential mapping to the tracked
+// scratch allocation (Reset first, which rebases the analyzer onto the empty
+// committed state) and returns how many order entries were consumed: the
+// feasibly mapped prefix plus the string that failed, if any. Each string's
+// IMR placement is evaluated against only the delta it introduced; a failed
+// placement is rolled back bit-identically by Undo, so later strings see the
+// exact committed prefix rather than float residue from subtracting the
+// rejected string's demands. After the call, exactly the feasibly mapped
+// strings are Complete in the scratch.
+func decodeDelta(da *feasibility.DeltaAnalyzer, a *feasibility.Allocation, order []int) int {
 	a.Reset()
 	for idx, k := range order {
 		MapStringIMR(a, k)
-		if !a.FeasibleAfterAdding(k) {
-			a.UnassignString(k)
+		if !da.FeasibleAfterDelta() {
+			da.Undo()
 			return idx + 1
 		}
+		da.Commit()
 	}
 	return len(order)
 }
@@ -160,10 +169,17 @@ func decodeInto(a *feasibility.Allocation, order []int) int {
 // Reset in place and the stop-on-failure decode applied to it, returning the
 // final two-component metric. Callers that evaluate many orders over one
 // system avoid the per-decode allocation rebuild this way; scratch must have
-// been created by feasibility.New over the same system. Like MapSequence it
-// panics if order is not a permutation of all string indices.
+// been created by feasibility.New over the same system. If scratch already
+// has a DeltaAnalyzer attached it is reused; otherwise one is attached for
+// the duration of the call. Like MapSequence it panics if order is not a
+// permutation of all string indices.
 func MapSequenceInto(scratch *feasibility.Allocation, order []int) feasibility.Metric {
 	validateOrder(len(scratch.System().Strings), order)
-	decodeInto(scratch, order)
+	da := scratch.Tracker()
+	if da == nil {
+		da = feasibility.Track(scratch)
+		defer da.Close()
+	}
+	decodeDelta(da, scratch, order)
 	return scratch.Metric()
 }

@@ -47,16 +47,30 @@ type Result struct {
 // string and corrupt the utilization bookkeeping, and an out-of-range index
 // has no string to map — both are caller bugs, never valid data.
 func MapSequence(sys *model.System, order []int) *Result {
+	return mapSequence(sys, order, false)
+}
+
+// mapSequence is the shared sequential mapper: stop-on-failure when skip is
+// false, skip-on-failure when true. Each string's IMR placement is evaluated
+// incrementally against the delta it introduced; failed placements are undone
+// bit-identically.
+func mapSequence(sys *model.System, order []int, skip bool) *Result {
 	validateOrder(len(sys.Strings), order)
 	a := feasibility.New(sys)
+	da := feasibility.Track(a)
+	defer da.Close()
 	mapped := make([]bool, len(sys.Strings))
 	numMapped := 0
 	for _, k := range order {
 		MapStringIMR(a, k)
-		if !a.FeasibleAfterAdding(k) {
-			a.UnassignString(k)
+		if !da.FeasibleAfterDelta() {
+			da.Undo()
+			if skip {
+				continue
+			}
 			break
 		}
+		da.Commit()
 		mapped[k] = true
 		numMapped++
 	}
@@ -78,27 +92,7 @@ func MapSequence(sys *model.System, order []int) *Result {
 // worth that sacrifices. Like MapSequence, it panics unless order is a
 // permutation of all string indices.
 func MapSequenceSkip(sys *model.System, order []int) *Result {
-	validateOrder(len(sys.Strings), order)
-	a := feasibility.New(sys)
-	mapped := make([]bool, len(sys.Strings))
-	numMapped := 0
-	for _, k := range order {
-		MapStringIMR(a, k)
-		if !a.FeasibleAfterAdding(k) {
-			a.UnassignString(k)
-			continue
-		}
-		mapped[k] = true
-		numMapped++
-	}
-	return &Result{
-		Alloc:       a,
-		Mapped:      mapped,
-		Order:       append([]int(nil), order...),
-		NumMapped:   numMapped,
-		Metric:      a.Metric(),
-		Evaluations: 1,
-	}
+	return mapSequence(sys, order, true)
 }
 
 // MWFOrder returns the Most Worth First permutation: strings ranked by worth,

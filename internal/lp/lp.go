@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/simplex"
+	"repro/internal/telemetry"
 )
 
 // Formulation selects the LP variant.
@@ -93,6 +94,14 @@ type Config struct {
 	// MaxVariables guards against accidentally building an intractable LP;
 	// 0 means the default of 400,000.
 	MaxVariables int
+	// WarmBasis warm-starts the revised simplex from the Basis of a previous
+	// Bound computed with the same formulation and objective on a system of
+	// identical shape (same machine count and the same strings with the same
+	// application counts — only parameter values may differ, e.g. a surge
+	// rescale). An unusable basis silently falls back to the cold solve;
+	// Bound.WarmStarted reports the path taken. Ignored by the dense and
+	// interior solvers.
+	WarmBasis []int
 }
 
 // Solver selects the LP algorithm for UpperBound.
@@ -140,6 +149,13 @@ type Bound struct {
 	// solver does not produce duals (interior point) or the LP is not
 	// optimal.
 	MachineShadowPrice []float64
+	// Basis is the optimal simplex basis, usable as Config.WarmBasis for a
+	// re-solve after a parameter change on the same system shape. Nil unless
+	// the revised simplex found an optimum.
+	Basis []int
+	// WarmStarted reports that a supplied Config.WarmBasis was actually used
+	// (false when it was absent or the solver fell back to the cold path).
+	WarmStarted bool
 }
 
 // builder tracks the variable layout of one LP instance.
@@ -181,7 +197,18 @@ func UpperBound(sys *model.System, cfg Config) (*Bound, error) {
 	case InteriorPoint:
 		sol, err = b.prob.SolveInterior()
 	default:
-		sol, err = b.prob.Solve()
+		if cfg.WarmBasis != nil {
+			sol, err = b.prob.SolveWithBasis(cfg.WarmBasis)
+			if sol != nil && telemetry.Enabled() {
+				if sol.Warm {
+					telemetry.C("lp.warm_used").Inc()
+				} else {
+					telemetry.C("lp.warm_fallback").Inc()
+				}
+			}
+		} else {
+			sol, err = b.prob.Solve()
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("lp: %w", err)
@@ -191,6 +218,8 @@ func UpperBound(sys *model.System, cfg Config) (*Bound, error) {
 		Iterations:  sol.Iterations,
 		Variables:   b.prob.NumCols(),
 		Constraints: b.prob.NumRows(),
+		Basis:       sol.Basis,
+		WarmStarted: sol.Warm,
 	}
 	if sol.Status != simplex.Optimal {
 		return out, nil

@@ -267,6 +267,10 @@ func (c *Controller) Run(alloc *feasibility.Allocation, mapped []bool, sc *Scena
 				a.AssignString(k, placement[k])
 			}
 		}
+		// Track after the bulk assignment: Track's one full rebase scan
+		// replaces the full two-stage analysis the loop below used to run per
+		// shed iteration; every subsequent check this tick is incremental.
+		da := feasibility.Track(a)
 		var down *faults.Set
 		machineOK, routeOK := func(int) bool { return true }, func(int, int) bool { return true }
 		if c.cfg.Faults != nil {
@@ -293,7 +297,7 @@ func (c *Controller) Run(alloc *feasibility.Allocation, mapped []bool, sc *Scena
 			}
 		}
 
-		overAtEntry := !c.healthy(a)
+		overAtEntry := !c.healthy(da)
 		if overAtEntry {
 			if i > 0 {
 				res.TimeOverCapacity += c.cfg.Interval
@@ -306,8 +310,8 @@ func (c *Controller) Run(alloc *feasibility.Allocation, mapped []bool, sc *Scena
 		// per unit of demand — one masked-IMR re-placement attempt first
 		// (downgrade before drop), then shed.
 		tried := make(map[int]bool)
-		for !c.healthy(a) {
-			victim := c.pickVictim(a, cur)
+		for !c.healthy(da) {
+			victim := c.pickVictim(da, cur)
 			if victim < 0 {
 				break // nothing implicated (should not happen while unhealthy)
 			}
@@ -315,6 +319,11 @@ func (c *Controller) Run(alloc *feasibility.Allocation, mapped []bool, sc *Scena
 			if !tried[victim] {
 				tried[victim] = true
 				if heuristics.MapStringIMRMasked(a, victim, machineOK, routeOK) {
+					// Local acceptance, not FeasibleAfterDelta: during an
+					// overload the allocation is globally infeasible by
+					// definition, so a migration is kept when the new
+					// placement itself introduces no violation and the loop
+					// keeps shedding to cure the rest.
 					if a.FeasibleAfterAdding(victim) {
 						placement[victim] = a.StringMachines(victim)
 						res.Actions = append(res.Actions, Action{Time: t, StringID: victim, Kind: Migrated, Reason: "overload"})
@@ -336,7 +345,7 @@ func (c *Controller) Run(alloc *feasibility.Allocation, mapped []bool, sc *Scena
 		// upper threshold, highest worth-per-utilization candidates first,
 		// bounded per tick, and never admitting a string that would push Λ
 		// back below the shed threshold.
-		if c.healthy(a) && a.Slackness() > c.cfg.ReadmitAbove+slackEps {
+		if c.healthy(da) && a.Slackness() > c.cfg.ReadmitAbove+slackEps {
 			cands := make([]int, 0, len(shedSet))
 			for k := range shedSet {
 				cands = append(cands, k)
@@ -350,10 +359,17 @@ func (c *Controller) Run(alloc *feasibility.Allocation, mapped []bool, sc *Scena
 				if a.Slackness() <= c.cfg.ReadmitAbove+slackEps {
 					break
 				}
+				// The window is clean here (healthy committed, and each
+				// attempt below ends in Commit or Undo), so the analyzer sees
+				// exactly the candidate's placement as the delta and a
+				// rejected candidate is rolled back bit-identically instead
+				// of leaving float residue from an unassign.
 				if !heuristics.MapStringIMRMasked(a, k, machineOK, routeOK) {
+					da.Undo()
 					continue
 				}
-				if a.FeasibleAfterAdding(k) && a.Slackness() >= c.cfg.ShedBelow-slackEps {
+				if da.FeasibleAfterDelta() && a.Slackness() >= c.cfg.ShedBelow-slackEps {
+					da.Commit()
 					cur[k] = true
 					delete(shedSet, k)
 					placement[k] = a.StringMachines(k)
@@ -362,7 +378,7 @@ func (c *Controller) Run(alloc *feasibility.Allocation, mapped []bool, sc *Scena
 					tel.readmits.Inc()
 					admitted++
 				} else {
-					a.UnassignString(k)
+					da.Undo()
 				}
 			}
 		}
@@ -380,6 +396,9 @@ func (c *Controller) Run(alloc *feasibility.Allocation, mapped []bool, sc *Scena
 				res.MinRetained = ratio
 			}
 		}
+		// Detach so FinalAlloc escapes untracked and a later consumer can
+		// attach its own analyzer.
+		da.Close()
 	}
 
 	res.WorthAfter = worthOf(base, cur)
@@ -401,21 +420,33 @@ func (c *Controller) Run(alloc *feasibility.Allocation, mapped []bool, sc *Scena
 	return res, nil
 }
 
-// healthy reports whether the allocation needs no shedding: two-stage
-// feasible with slackness at or above the shed threshold.
-func (c *Controller) healthy(a *feasibility.Allocation) bool {
-	return a.TwoStageFeasible() && a.Slackness() >= c.cfg.ShedBelow-slackEps
+// healthy reports whether the tracked allocation needs no shedding:
+// two-stage feasible with slackness at or above the shed threshold. It
+// commits the pending delta window first, so after the shed loop's mutations
+// only the changed strings are re-analyzed.
+func (c *Controller) healthy(da *feasibility.DeltaAnalyzer) bool {
+	da.Commit()
+	return da.FeasibleAfterDelta() && da.Allocation().Slackness() >= c.cfg.ShedBelow-slackEps
 }
 
 // pickVictim selects the mapped string with the lowest worth per unit of
 // demand among the strings implicated in the overload: strings named by
 // stage-2 violations plus strings on any resource utilized past the shed
-// target 1-ShedBelow. Ties break by lower string ID. Returns -1 when nothing
-// is implicated.
-func (c *Controller) pickVictim(a *feasibility.Allocation, cur []bool) int {
+// target 1-ShedBelow. Near-equal densities (feasibility.AlmostEqual) break by
+// lower string ID. Returns -1 when nothing is implicated.
+//
+// The violation list comes from the delta analyzer (healthy just committed,
+// so only surviving committed violations are rechecked). The resource sweep
+// cannot use the analyzer's OverloadedMachines/OverloadedRoutes — those track
+// the capacity threshold 1, while the shed target 1-ShedBelow is lower — so
+// machines get a direct O(M) scan and routes the O(active) ActiveRoutes walk
+// (an inactive route has exactly zero utilization and can never exceed the
+// positive target).
+func (c *Controller) pickVictim(da *feasibility.DeltaAnalyzer, cur []bool) int {
+	a := da.Allocation()
 	sys := a.System()
 	implicated := make(map[int]bool)
-	for _, v := range a.Violations() {
+	for _, v := range da.ViolationsAfterDelta() {
 		implicated[v.StringID] = true
 	}
 	thr := 1 - c.cfg.ShedBelow
@@ -423,19 +454,19 @@ func (c *Controller) pickVictim(a *feasibility.Allocation, cur []bool) int {
 		if a.MachineUtilization(j) > thr+slackEps {
 			markStringsOnMachine(a, j, implicated)
 		}
-		for j2 := 0; j2 < sys.Machines; j2++ {
-			if j != j2 && a.RouteUtilization(j, j2) > thr+slackEps {
-				markStringsOnRoute(a, j, j2, implicated)
-			}
-		}
 	}
+	a.ActiveRoutes(func(j1, j2 int, u float64) {
+		if u > thr+slackEps {
+			markStringsOnRoute(a, j1, j2, implicated)
+		}
+	})
 	best, bestWPU := -1, 0.0
 	for k := 0; k < len(sys.Strings); k++ {
 		if !implicated[k] || !cur[k] || !a.Complete(k) {
 			continue
 		}
 		wpu := WorthPerUtil(sys, k)
-		if best < 0 || wpu < bestWPU {
+		if best < 0 || (!feasibility.AlmostEqual(wpu, bestWPU) && wpu < bestWPU) {
 			best, bestWPU = k, wpu
 		}
 	}
@@ -464,11 +495,13 @@ func WorthPerUtil(sys *model.System, k int) float64 {
 }
 
 // sortByWorthPerUtilDesc orders string indices by worth-per-utilization,
-// highest first, ties by lower ID.
+// highest first. Densities within feasibility.AlmostEqual of each other are
+// treated as tied and break by lower ID, so the re-admission order cannot
+// depend on the last bits of a float division.
 func sortByWorthPerUtilDesc(sys *model.System, ks []int) {
 	sort.Slice(ks, func(a, b int) bool {
 		wa, wb := WorthPerUtil(sys, ks[a]), WorthPerUtil(sys, ks[b])
-		if wa != wb {
+		if !feasibility.AlmostEqual(wa, wb) {
 			return wa > wb
 		}
 		return ks[a] < ks[b]

@@ -123,8 +123,9 @@ func WriteViolations(w io.Writer, a *feasibility.Allocation) {
 
 // WriteTelemetry renders a telemetry snapshot: the raw instrument dump
 // followed by the derived ratios operators actually read — decode-memo hit
-// rate and worker-pool utilization — computed at print time from their
-// constituent counters. Empty snapshots print nothing.
+// rate, worker-pool utilization, and the delta analyzer's average dirty and
+// recheck set sizes per incremental evaluation — computed at print time from
+// their constituent counters. Empty snapshots print nothing.
 func WriteTelemetry(w io.Writer, snap telemetry.Snapshot) {
 	if snap.Empty() {
 		return
@@ -135,7 +136,8 @@ func WriteTelemetry(w io.Writer, snap telemetry.Snapshot) {
 	miss := snap.Counter("heuristics.decode.memo_miss")
 	busy := snap.Counter("pool.busy_ns")
 	capacity := snap.Counter("pool.capacity_ns")
-	if hit+miss > 0 || capacity > 0 {
+	evals := snap.Counter("feasibility.delta.evals")
+	if hit+miss > 0 || capacity > 0 || evals > 0 {
 		fmt.Fprintln(w, "derived:")
 	}
 	if hit+miss > 0 {
@@ -145,6 +147,12 @@ func WriteTelemetry(w io.Writer, snap telemetry.Snapshot) {
 	if capacity > 0 {
 		fmt.Fprintf(w, "  %-42s %11.1f%%\n", "worker utilization",
 			100*float64(busy)/float64(capacity))
+	}
+	if evals > 0 {
+		fmt.Fprintf(w, "  %-42s %12.2f\n", "delta dirty strings/eval",
+			float64(snap.Counter("feasibility.delta.dirty_strings"))/float64(evals))
+		fmt.Fprintf(w, "  %-42s %12.2f\n", "delta recheck strings/eval",
+			float64(snap.Counter("feasibility.delta.recheck_strings"))/float64(evals))
 	}
 }
 

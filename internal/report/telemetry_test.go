@@ -23,6 +23,9 @@ func TestWriteTelemetryDerivedRatios(t *testing.T) {
 	r.Counter("heuristics.decode.memo_miss").Add(25)
 	r.Counter("pool.busy_ns").Add(800)
 	r.Counter("pool.capacity_ns").Add(1000)
+	r.Counter("feasibility.delta.evals").Add(200)
+	r.Counter("feasibility.delta.dirty_strings").Add(450)
+	r.Counter("feasibility.delta.recheck_strings").Add(900)
 	var buf bytes.Buffer
 	WriteTelemetry(&buf, r.Snapshot())
 	out := buf.String()
@@ -34,6 +37,10 @@ func TestWriteTelemetryDerivedRatios(t *testing.T) {
 		"75.0%",
 		"worker utilization",
 		"80.0%",
+		"delta dirty strings/eval",
+		"2.25",
+		"delta recheck strings/eval",
+		"4.50",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)

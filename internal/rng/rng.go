@@ -40,6 +40,7 @@ const (
 	SubsystemPSGTrial = "heuristics/psg-trial"
 	SubsystemPhasing  = "experiments/phasing"
 	SubsystemSearch   = "experiments/search"
+	SubsystemDelta    = "feasibility/delta"
 )
 
 // SimulationKey identifies one deterministic stream: the run's root seed, the

@@ -182,6 +182,15 @@ type Solution struct {
 	// Populated by the simplex solvers on Optimal; nil from SolveInterior.
 	Duals      []float64
 	Iterations int
+	// Basis is the optimal basis in standard-form column numbering, one
+	// column per constraint row: the warm-start seed for SolveWithBasis on a
+	// problem with identical structure. Populated by the revised simplex on
+	// Optimal; nil from the dense and interior solvers.
+	Basis []int
+	// Warm reports that the solution came from a warm-started solve that
+	// actually used the supplied basis (false when SolveWithBasis had to fall
+	// back to the cold two-phase path).
+	Warm bool
 }
 
 // Residual returns the worst constraint violation of the solution against

@@ -46,7 +46,97 @@ func (p *Problem) Solve() (*Solution, error) {
 	sol.X = r.extract()
 	sol.Objective = p.Value(sol.X)
 	sol.Duals = r.extractDuals(s.cost)
+	sol.Basis = append([]int(nil), r.basis...)
 	return sol, nil
+}
+
+// SolveWithBasis solves the problem with the revised simplex warm-started
+// from a basis returned by a previous Solve or SolveWithBasis on a problem of
+// identical structure: the same variable count and the same constraints, in
+// the same order, with the same relations — only coefficient and right-side
+// values may differ (a rescaled system re-solve). The basis indices use
+// standard-form column numbering, which that structural identity keeps
+// stable.
+//
+// Skipping phase 1 is the entire payoff: the previous optimum is typically
+// primal feasible (or a few pivots away) after a small data change, so the
+// solve reduces to a short phase-2 cleanup. When the basis cannot seed this
+// problem — wrong length, duplicate or out-of-range columns, singular for the
+// new coefficients, or primal infeasible for the new right sides — the solver
+// falls back to the cold two-phase Solve; Solution.Warm reports which path
+// produced the result.
+func (p *Problem) SolveWithBasis(basis []int) (*Solution, error) {
+	if len(p.cons) == 0 {
+		return trivialSolution(p), nil
+	}
+	s := standardize(p)
+	r := warmRevised(s, basis)
+	if r == nil {
+		return p.Solve()
+	}
+	sol := &Solution{Warm: true}
+	if err := r.run(s.cost, false, &sol.Iterations); err != nil {
+		if err == errUnbounded {
+			sol.Status = Unbounded
+			return sol, nil
+		}
+		// Numerical failure on the warm path; the cold path refactorizes from
+		// a clean slack/artificial basis and may still succeed.
+		return p.Solve()
+	}
+	sol.Status = Optimal
+	sol.X = r.extract()
+	sol.Objective = p.Value(sol.X)
+	sol.Duals = r.extractDuals(s.cost)
+	sol.Basis = append([]int(nil), r.basis...)
+	return sol, nil
+}
+
+// warmRevised builds a revised-simplex state seeded with the given basis, or
+// returns nil when the basis cannot start a phase-2 solve of this problem:
+// structurally invalid, singular under the new coefficients, primal
+// infeasible for the new right sides, or holding an artificial at a nonzero
+// value (which would smuggle an infeasible point past phase 2, since phase 2
+// bars artificials from entering but not from staying).
+func warmRevised(s *standard, basis []int) *revised {
+	if len(basis) != s.m {
+		return nil
+	}
+	seen := make([]bool, s.n)
+	for _, j := range basis {
+		if j < 0 || j >= s.n || seen[j] {
+			return nil
+		}
+		seen[j] = true
+	}
+	r := &revised{
+		s:     s,
+		basis: append([]int(nil), basis...),
+		inB:   make([]bool, s.n),
+		xB:    make([]float64, s.m),
+		y:     make([]float64, s.m),
+		u:     make([]float64, s.m),
+	}
+	for _, j := range r.basis {
+		r.inB[j] = true
+	}
+	// refactorize builds binv from scratch and recomputes xB = B⁻¹ b, so the
+	// identity initialization newRevised performs is unnecessary here.
+	if err := r.refactorize(); err != nil {
+		return nil
+	}
+	for i, v := range r.xB {
+		if v < -feasTol {
+			return nil
+		}
+		if v < 0 {
+			r.xB[i] = 0
+		}
+		if r.basis[i] >= s.artStart && v > feasTol {
+			return nil
+		}
+	}
+	return r
 }
 
 type revised struct {

@@ -158,6 +158,7 @@ type Result struct {
 
 	SystemDigest  string // generated workload
 	AllocDigest   string // search result: mapping, worth, slackness
+	DeltaDigest   string // incremental re-analysis of the search allocation
 	FaultsDigest  string // sampled fault scenario (stream output only)
 	SurgeDigest   string // sampled surge scenario (stream output only)
 	ControlDigest string // failover + degradation outcomes (composes the above)
@@ -256,6 +257,17 @@ func RunContext(ctx context.Context, cfg Config, seed int64) (*Result, error) {
 	out.Worth = r.Metric.Worth
 	out.NumMapped = r.NumMapped
 
+	// Stage 2b: incremental re-analysis of the search allocation, drawing
+	// from the delta subsystem stream (so the fault and surge stages below
+	// replay identically whether or not this stage's parameters change). The
+	// stage errors the run outright if the delta analyzer ever disagrees with
+	// the full two-stage analysis or Undo fails to restore state
+	// bit-identically.
+	out.DeltaDigest, err = deltaStage(r.Alloc, seed)
+	if err != nil {
+		return nil, err
+	}
+
 	// Stage 3: fault scenario. Sample keys the root seed under the faults
 	// subsystem internally, so the draw positions are independent of every
 	// other stage.
@@ -346,7 +358,7 @@ func RunContext(ctx context.Context, cfg Config, seed int64) (*Result, error) {
 	out.Unfinished = res.Unfinished
 
 	f := newDigest()
-	f.add(out.SystemDigest, out.AllocDigest, out.FaultsDigest, out.SurgeDigest, out.ControlDigest, out.SimDigest)
+	f.add(out.SystemDigest, out.AllocDigest, out.DeltaDigest, out.FaultsDigest, out.SurgeDigest, out.ControlDigest, out.SimDigest)
 	out.Fingerprint = f.sum()
 	return out, nil
 }
@@ -356,6 +368,7 @@ func (r *Result) Stages() []struct{ Name, Digest string } {
 	return []struct{ Name, Digest string }{
 		{"system", r.SystemDigest},
 		{"alloc", r.AllocDigest},
+		{"delta", r.DeltaDigest},
 		{"faults", r.FaultsDigest},
 		{"surge", r.SurgeDigest},
 		{"control", r.ControlDigest},

@@ -109,7 +109,7 @@ func isolationArms() []IsolationArm {
 			Name:       "search",
 			Mutate:     func(c *Config) { c.PSGIters += 40; c.PSGTrials++ },
 			Changed:    nil, // a longer search may or may not find a different mapping
-			Downstream: []string{"alloc", "control", "sim"},
+			Downstream: []string{"alloc", "delta", "control", "sim"},
 		},
 	}
 }

@@ -1,0 +1,173 @@
+// Command shipd is the long-lived resource-allocation daemon: it owns one
+// live allocation over a TSCE system and serves admission control, demand
+// rescaling, fault survival, and surge degradation over a versioned HTTP/JSON
+// API. Every serving decision runs on the incremental delta analyzer — a full
+// two-stage re-analysis never happens on the serve path.
+//
+// Endpoints (all JSON; see internal/service for the wire contract):
+//
+//	POST /v1/admit     {"stringId": k}             admit a string
+//	POST /v1/remove    {"stringId": k}             remove a string
+//	POST /v1/rescale   {"stringId": k, "factor": g} rescale a string's demand
+//	POST /v1/faults    {"fail": [...], "repair": [...]} outages and repairs
+//	POST /v1/surge     <overload scenario JSON>     run a degradation episode
+//	POST /v1/snapshot  {"path": "..."}              write a resumable snapshot
+//	GET  /v1/state                                  full observable state
+//	GET  /v1/metrics                                telemetry + derived ratios
+//	GET  /v1/events?since=N                         decision stream (JSONL)
+//
+// A daemon restarted with -restore resumes from a snapshot bit-identically:
+// the snapshot carries exact IEEE-754 accumulator bits and the restored
+// state's digest must match the recorded one.
+//
+// Examples:
+//
+//	shipd -scenario 3 -seed 7 -addr localhost:8040
+//	shipd -in system.json -heuristic MWF -lp-bound
+//	shipd -restore shipd-snapshot.json -addr localhost:8040
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/faults"
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/overload"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8040", "HTTP listen address")
+		scenario  = flag.Int("scenario", 3, "paper scenario to generate: 1 | 2 | 3")
+		seed      = flag.Int64("seed", 1, "workload RNG seed")
+		strings_  = flag.Int("strings", 0, "override string count (0 = paper value)")
+		inFile    = flag.String("in", "", "load the system from a JSON file instead of generating")
+		heuristic = flag.String("heuristic", "", "initial mapping heuristic (MWF | TF | PSG | SeededPSG | ...); empty starts with nothing mapped")
+		psgIters  = flag.Int("psg-iters", 1000, "GENITOR iteration budget for the initial heuristic")
+		psgTrials = flag.Int("psg-trials", 2, "GENITOR trials for the initial heuristic")
+		workers   = flag.Int("workers", 0, "worker goroutines for the initial search (0 = all cores)")
+		faultFile = flag.String("faults", "", "apply a JSON failure scenario's outages at startup (shared loader with shipsched)")
+		surgeFile = flag.String("surge", "", "run a JSON demand-surge episode at startup (shared loader with shipsched)")
+		shedBelow = flag.Float64("shed-below", 0, "degradation controller: shed while slackness is below this")
+		readmitAb = flag.Float64("readmit-above", 0, "degradation controller: re-admit only above this slackness (0 = default)")
+		repairIt  = flag.Int("max-repair-iters", 0, "bound fault-repair eviction iterations (0 = unbounded)")
+		reclaimPs = flag.Int("max-reclaim-passes", 0, "bound fault-repair reclaim passes (0 = unbounded)")
+		lpBound   = flag.Bool("lp-bound", false, "maintain the relaxed-LP worth upper bound (warm-started re-solves on rescale)")
+		fullAna   = flag.Bool("full-analysis", false, "evaluate every operation with the full two-stage analysis instead of the delta path (benchmark fallback)")
+		snapPath  = flag.String("snapshot", "shipd-snapshot.json", "default path for POST /v1/snapshot")
+		restore   = flag.String("restore", "", "resume from a snapshot file written by POST /v1/snapshot")
+	)
+	flag.Parse()
+
+	// The daemon always runs instrumented; /v1/metrics serves the registry.
+	telemetry.Enable()
+
+	cfg := service.Config{
+		Overload: overload.Config{ShedBelow: *shedBelow, ReadmitAbove: *readmitAb},
+		Repair: dynamic.Options{
+			MaxRepairIterations: *repairIt,
+			MaxReclaimPasses:    *reclaimPs,
+		},
+		LPBound:      *lpBound,
+		FullAnalysis: *fullAna,
+		SnapshotPath: *snapPath,
+	}
+
+	var (
+		svc *service.Service
+		err error
+	)
+	if *restore != "" {
+		svc, err = service.Restore(*restore, cfg)
+		fatal(err)
+		fmt.Printf("shipd: restored state from %s\n", *restore)
+	} else {
+		cfg.System, err = loadSystem(*inFile, *scenario, *seed, *strings_)
+		fatal(err)
+		cfg.Heuristic = *heuristic
+		if *heuristic != "" {
+			search := heuristics.DefaultPSGConfig()
+			search.MaxIterations = *psgIters
+			search.Trials = *psgTrials
+			search.Seed = *seed
+			search.Workers = *workers
+			cfg.Search = search
+		}
+		svc, err = service.New(cfg)
+		fatal(err)
+	}
+	defer svc.Close()
+
+	if *faultFile != "" {
+		sc, err := faults.LoadFile(*faultFile)
+		fatal(err)
+		st, err := svc.State()
+		fatal(err)
+		if err := sc.Validate(st.Machines); err != nil {
+			fatal(err)
+		}
+		req := service.FaultsRequest{Fail: faults.SetFromScenario(sc, st.Machines).Resources()}
+		d, err := svc.Faults(req)
+		fatal(err)
+		fmt.Printf("shipd: applied %d startup outages, worth retained %.1f%%\n",
+			len(req.Fail), 100*d.WorthRetained)
+	}
+	if *surgeFile != "" {
+		sc, err := overload.LoadFile(*surgeFile)
+		fatal(err)
+		d, err := svc.Surge(sc)
+		fatal(err)
+		fmt.Printf("shipd: surge episode %q done, worth retained %.1f%%\n", sc.Name, 100*d.WorthRetained)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- server.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("shipd: serving on http://%s (schema v%d)\n", *addr, service.SchemaVersion)
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Printf("shipd: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = server.Shutdown(ctx)
+	}
+}
+
+func loadSystem(inFile string, scenario int, seed int64, stringsOverride int) (*model.System, error) {
+	if inFile != "" {
+		return model.LoadFile(inFile)
+	}
+	cfg := workload.ScenarioConfig(workload.Scenario(scenario))
+	if stringsOverride > 0 {
+		cfg.Strings = stringsOverride
+	}
+	return workload.Generate(cfg, seed)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shipd:", err)
+		os.Exit(1)
+	}
+}

@@ -76,6 +76,8 @@ func main() {
 		faultFile = flag.String("faults", "", "load a JSON failure scenario and run the failover analysis")
 		failMach  = flag.String("fail-machines", "", "comma-separated machines hit by permanent compartment losses")
 		surgeFile = flag.String("surge", "", "load a JSON demand-surge scenario and run the degradation controller")
+		repairIt  = flag.Int("max-repair-iters", 0, "bound failover eviction iterations (0 = unbounded)")
+		reclaimPs = flag.Int("max-reclaim-passes", 0, "bound failover reclaim passes (0 = unbounded)")
 		shedBelow = flag.Float64("shed-below", 0, "degradation controller: shed while slackness is below this")
 		readmitAb = flag.Float64("readmit-above", 0, "degradation controller: re-admit shed strings only above this slackness (0 = default 0.05)")
 		metrics   = flag.Bool("metrics", false, "collect telemetry and print the instrument snapshot")
@@ -182,7 +184,9 @@ func main() {
 	fatal(err)
 	if faultSc != nil {
 		fatal(faultSc.ValidateFor(sys))
-		runFailover(r, faultSc)
+		repairOpts := dynamic.Options{MaxRepairIterations: *repairIt, MaxReclaimPasses: *reclaimPs}
+		fatal(repairOpts.Validate())
+		runFailover(r, faultSc, repairOpts)
 	}
 	var surgeSc *overload.Scenario
 	if *surgeFile != "" {
@@ -366,12 +370,12 @@ func runDeltaVerify(r *heuristics.Result, seed int64) {
 
 // runFailover reports the Survive controller's repair of the mapping against
 // the scenario's collapsed outage set (every listed resource down at once).
-func runFailover(r *heuristics.Result, sc *faults.Scenario) {
+func runFailover(r *heuristics.Result, sc *faults.Scenario, opts dynamic.Options) {
 	sys := r.Alloc.System()
 	down := faults.SetFromScenario(sc, sys.Machines)
 	alloc := r.Alloc.Clone()
 	mapped := append([]bool(nil), r.Mapped...)
-	res, err := dynamic.Survive(alloc, mapped, down)
+	res, err := dynamic.SurviveOpts(alloc, mapped, down, opts)
 	fatal(err)
 	mig, evi, rec := res.Counts()
 	fmt.Printf("\nfailover: %d machines and %d routes down (scenario %q)\n",

@@ -189,7 +189,7 @@ func (r *Result) NetEvictions() int {
 // settled (highest worth first), so a string stays evicted only if its
 // re-placement on the final allocation is infeasible.
 func Repair(alloc *feasibility.Allocation, mapped []bool) *Result {
-	r := newRepairer(alloc, mapped, nil, nil)
+	r := newRepairer(alloc, mapped, nil, nil, Options{}.WithDefaults())
 	r.repairLoop()
 	r.reclaim()
 	return r.result()

@@ -39,6 +39,7 @@ type repairer struct {
 	origin    map[int][]int         // pre-repair machines of every string acted on
 	evicted   map[int]bool          // strings evicted by this repair, reclaim candidates
 	tried     []bool                // strings that already got their one migrate attempt
+	opts      Options               // resolved controller ceilings (WithDefaults applied)
 	res       *Result
 	tel       repairTelemetry
 }
@@ -71,7 +72,7 @@ func newRepairTelemetry() repairTelemetry {
 	}
 }
 
-func newRepairer(alloc *feasibility.Allocation, mapped []bool, machineOK func(int) bool, routeOK func(int, int) bool) *repairer {
+func newRepairer(alloc *feasibility.Allocation, mapped []bool, machineOK func(int) bool, routeOK func(int, int) bool, opts Options) *repairer {
 	sys := alloc.System()
 	// Track the allocation for incremental re-analysis; the initial Rebase
 	// (one full scan) also records any entry violations and overloads, so
@@ -93,6 +94,7 @@ func newRepairer(alloc *feasibility.Allocation, mapped []bool, machineOK func(in
 		origin:    make(map[int][]int),
 		evicted:   make(map[int]bool),
 		tried:     make([]bool, len(sys.Strings)),
+		opts:      opts.WithDefaults(),
 		res:       &Result{WorthBefore: mappedWorth(sys, mapped)},
 		tel:       newRepairTelemetry(),
 	}
@@ -151,10 +153,13 @@ func (r *repairer) evict(k int) {
 // at the top re-evaluates only the committed violation and overload sets —
 // O(remaining damage) instead of a full O(M + K·rosters) scan per iteration.
 func (r *repairer) repairLoop() {
-	for {
+	for iters := 0; ; iters++ {
 		r.da.Commit()
 		if r.da.FeasibleAfterDelta() {
 			break
+		}
+		if iters >= r.opts.MaxRepairIterations {
+			break // ceiling hit; result() reports the remaining infeasibility
 		}
 		r.tel.repairIters.Inc()
 		victim := r.pickVictim()
@@ -189,7 +194,7 @@ func (r *repairer) repairLoop() {
 // the property tests pin.
 func (r *repairer) reclaim() {
 	sys := r.alloc.System()
-	for {
+	for passes := 0; passes < r.opts.MaxReclaimPasses; passes++ {
 		r.tel.reclaimPass.Inc()
 		cands := make([]int, 0, len(r.evicted))
 		for k := range r.evicted {
@@ -258,6 +263,12 @@ func (r *repairer) result() *Result {
 // entry (combine with Repair first after a simultaneous workload change).
 // The resulting allocation never uses a failed resource.
 func Survive(alloc *feasibility.Allocation, mapped []bool, down *faults.Set) (*Result, error) {
+	return survive(alloc, mapped, down, Options{}.WithDefaults())
+}
+
+// survive is the shared implementation behind Survive and SurviveOpts; opts
+// must already be resolved with WithDefaults.
+func survive(alloc *feasibility.Allocation, mapped []bool, down *faults.Set, opts Options) (*Result, error) {
 	sys := alloc.System()
 	if down.Machines() != sys.Machines {
 		return nil, fmt.Errorf("dynamic: outage set covers %d machines, system has %d: %w",
@@ -269,7 +280,8 @@ func Survive(alloc *feasibility.Allocation, mapped []bool, down *faults.Set) (*R
 	span := telemetry.BeginSpan("dynamic.survive")
 	r := newRepairer(alloc, mapped,
 		func(j int) bool { return !down.MachineDown(j) },
-		func(j1, j2 int) bool { return !down.RouteDown(j1, j2) })
+		func(j1, j2 int) bool { return !down.RouteDown(j1, j2) },
+		opts)
 
 	// 1. Evacuate.
 	var evacuees []int

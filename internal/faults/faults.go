@@ -18,15 +18,13 @@
 package faults
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/scenario"
 )
 
 // ResourceKind discriminates the two failable resource classes.
@@ -63,8 +61,9 @@ func (r Resource) String() string {
 
 // ErrOutOfRange is the sentinel wrapped by resource validation errors when a
 // scenario names a machine or route outside the suite; callers (e.g.
-// dynamic.SurviveScenario) test it with errors.Is.
-var ErrOutOfRange = errors.New("resource out of range")
+// dynamic.SurviveScenario) test it with errors.Is. It aliases the shared
+// scenario.ErrOutOfRange, so either spelling matches.
+var ErrOutOfRange = scenario.ErrOutOfRange
 
 // validate checks the resource against a suite of m machines.
 func (r Resource) validate(m int) error {
@@ -113,7 +112,10 @@ func (e Event) UpAt() float64 {
 // system. Scenarios serialize to JSON so chaos experiments and the shipsched
 // fault mode can share hand-written or sampled scenario files.
 type Scenario struct {
-	Name string `json:"name,omitempty"`
+	// Version is the scenario file version (0 for pre-versioned files); the
+	// shared loader rejects files newer than scenario.MaxVersion.
+	Version int    `json:"version,omitempty"`
+	Name    string `json:"name,omitempty"`
 	// Seed records the Monte Carlo seed a sampled scenario came from
 	// (0 for hand-written scenarios); informational only.
 	Seed   int64   `json:"seed,omitempty"`
@@ -129,7 +131,7 @@ func (sc *Scenario) Validate(m int) error {
 			return fmt.Errorf("faults: event %d: %w", idx, err)
 		}
 	}
-	return sc.validateStructure()
+	return sc.ValidateStructure()
 }
 
 // EventsOrNil returns the scenario's events; nil-safe, for callers holding an
@@ -183,34 +185,26 @@ func CompartmentHit(m, j int, at, duration float64) []Event {
 
 // WriteJSON serializes the scenario as indented JSON.
 func (sc *Scenario) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(sc); err != nil {
-		return fmt.Errorf("faults: encoding scenario: %w", err)
-	}
-	return nil
+	return scenario.WriteJSON(w, "faults", sc)
 }
 
-// ReadJSON parses a scenario from JSON and applies the structural checks that
-// need no machine count: event times must be finite and non-negative,
-// durations finite, and non-empty event IDs unique — each rejected with a
-// per-event error instead of loading silently. Callers still validate
-// resource ranges against their system with ValidateFor (the machine count is
-// not part of the scenario file).
+// ReadJSON parses a scenario from JSON via the shared versioned loader and
+// applies the structural checks that need no machine count: event times must
+// be finite and non-negative, durations finite, and non-empty event IDs
+// unique — each rejected with a per-event error instead of loading silently.
+// Callers still validate resource ranges against their system with
+// ValidateFor (the machine count is not part of the scenario file).
 func ReadJSON(r io.Reader) (*Scenario, error) {
 	var sc Scenario
-	if err := json.NewDecoder(r).Decode(&sc); err != nil {
-		return nil, fmt.Errorf("faults: decoding scenario: %w", err)
-	}
-	if err := sc.validateStructure(); err != nil {
+	if err := scenario.Read(r, "faults", &sc); err != nil {
 		return nil, err
 	}
 	return &sc, nil
 }
 
-// validateStructure runs the machine-count-independent event checks shared by
-// ReadJSON and Validate.
-func (sc *Scenario) validateStructure() error {
+// ValidateStructure runs the machine-count-independent event checks shared by
+// the scenario loader and Validate.
+func (sc *Scenario) ValidateStructure() error {
 	seen := make(map[string]int)
 	for idx, e := range sc.Events {
 		if e.At < 0 || math.IsNaN(e.At) || math.IsInf(e.At, 0) {
@@ -231,25 +225,16 @@ func (sc *Scenario) validateStructure() error {
 
 // SaveFile writes the scenario to path as JSON.
 func (sc *Scenario) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("faults: %w", err)
-	}
-	defer f.Close()
-	if err := sc.WriteJSON(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return scenario.SaveFile(path, "faults", sc)
 }
 
-// LoadFile reads a scenario from a JSON file.
+// LoadFile reads a scenario from a JSON file via the shared versioned loader.
 func LoadFile(path string) (*Scenario, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("faults: %w", err)
+	var sc Scenario
+	if err := scenario.ParseScenarioFile(path, "faults", &sc); err != nil {
+		return nil, err
 	}
-	defer f.Close()
-	return ReadJSON(f)
+	return &sc, nil
 }
 
 // Set is the instantaneous outage state of a suite: which machines and which
@@ -336,6 +321,51 @@ func (s *Set) RoutesDown() int {
 		}
 	}
 	return n
+}
+
+// Repair marks a resource up again, undoing a Fail. Repairing an up resource
+// is a no-op.
+func (s *Set) Repair(r Resource) {
+	if r.Kind == MachineResource {
+		s.machines[r.Machine] = false
+	} else {
+		s.routes[r.From][r.To] = false
+	}
+}
+
+// Resources enumerates every resource currently down, machines first, then
+// routes in (from, to) order — a canonical order suitable for serialization.
+func (s *Set) Resources() []Resource {
+	var out []Resource
+	for j, d := range s.machines {
+		if d {
+			out = append(out, Machine(j))
+		}
+	}
+	for j1, row := range s.routes {
+		for j2, d := range row {
+			if d {
+				out = append(out, Route(j1, j2))
+			}
+		}
+	}
+	return out
+}
+
+// Scenario collapses the set into a permanent-outage scenario (every down
+// resource fails at t=0 and is never repaired) — the form consumed by
+// controllers that take a faults.Scenario, e.g. overload.Config.Faults.
+// An empty set yields nil.
+func (s *Set) Scenario() *Scenario {
+	rs := s.Resources()
+	if len(rs) == 0 {
+		return nil
+	}
+	sc := &Scenario{Name: "live-outages"}
+	for _, r := range rs {
+		sc.Events = append(sc.Events, Event{Resource: r, At: 0})
+	}
+	return sc
 }
 
 // Empty reports whether nothing is down.

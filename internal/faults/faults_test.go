@@ -227,3 +227,52 @@ func TestSortedOrdersByTime(t *testing.T) {
 		t.Error("Sorted mutated the scenario")
 	}
 }
+
+func TestSetRepairAndResources(t *testing.T) {
+	s := NewSet(3)
+	s.Fail(Machine(1))
+	s.Fail(Route(0, 2))
+	s.Fail(Route(2, 0))
+	got := s.Resources()
+	want := []Resource{Machine(1), Route(0, 2), Route(2, 0)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Resources() = %v, want %v", got, want)
+	}
+	s.Repair(Route(0, 2))
+	if s.RouteDown(0, 2) {
+		t.Error("route still down after Repair")
+	}
+	s.Repair(Machine(1))
+	if s.MachineDown(1) {
+		t.Error("machine still down after Repair")
+	}
+	s.Repair(Machine(1)) // repairing an up resource is a no-op
+	s.Repair(Route(2, 0))
+	if !s.Empty() {
+		t.Errorf("set should be empty, still down: %v", s.Resources())
+	}
+}
+
+func TestSetScenario(t *testing.T) {
+	s := NewSet(4)
+	if s.Scenario() != nil {
+		t.Error("empty set should collapse to a nil scenario")
+	}
+	s.Fail(Machine(2))
+	s.Fail(Route(1, 3))
+	sc := s.Scenario()
+	if sc == nil || len(sc.Events) != 2 {
+		t.Fatalf("Scenario() = %+v, want 2 events", sc)
+	}
+	if err := sc.Validate(4); err != nil {
+		t.Fatalf("collapsed scenario invalid: %v", err)
+	}
+	for _, e := range sc.Events {
+		if !e.Permanent() || e.At != 0 {
+			t.Errorf("event %+v should be a permanent outage at t=0", e)
+		}
+	}
+	if !reflect.DeepEqual(SetFromScenario(sc, 4).Resources(), s.Resources()) {
+		t.Error("Set -> Scenario -> Set round trip changed the outage set")
+	}
+}

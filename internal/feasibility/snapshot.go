@@ -1,0 +1,244 @@
+// Allocation snapshots: exact-bit serialization for daemon restarts. The
+// utilization accumulators are path-dependent float64 sums — (x+u)-u is not
+// x — so replaying the current assignments into a fresh Allocation cannot in
+// general reproduce a live allocation's floats, and a restarted daemon would
+// drift from the state its clients observed. A snapshot therefore captures
+// the raw accumulator bit patterns (hex-encoded IEEE-754, NaN-safe for the
+// tightness of incomplete strings) together with roster order, which is
+// observable through the waiting-time sums of equations (5) and (6).
+// FromSnapshot restores an allocation whose WriteState fingerprint is
+// byte-identical to the original's.
+
+package feasibility
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/model"
+)
+
+// StringState is the per-string part of an AllocationSnapshot.
+type StringState struct {
+	// Machines is the assignment vector (Unassigned = -1 entries allowed).
+	Machines []int `json:"machines"`
+	// Tightness is the hex-encoded IEEE-754 bit pattern of the cached
+	// equation-(4) tightness (NaN while the string is incomplete).
+	Tightness string `json:"tightness"`
+}
+
+// MachineState is the per-machine part of an AllocationSnapshot.
+type MachineState struct {
+	// Util is the hex-encoded bit pattern of U_machine[j] (equation (2)).
+	Util string `json:"util"`
+	// Roster lists the assigned applications as (string, app) pairs in roster
+	// order, which is behaviorally observable and must be preserved.
+	Roster [][2]int `json:"roster,omitempty"`
+}
+
+// RouteState is one active route of an AllocationSnapshot; routes with an
+// empty roster hold exactly zero utilization and are omitted.
+type RouteState struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Util is the hex-encoded bit pattern of U_route[from,to] (equation (3)).
+	Util string `json:"util"`
+	// Roster lists the producing applications whose output uses the route,
+	// as (string, app) pairs in roster order.
+	Roster [][2]int `json:"roster"`
+}
+
+// AllocationSnapshot is a JSON-serializable, exact-bit capture of an
+// Allocation's observable state over its system. It does not embed the
+// system; FromSnapshot revalidates the snapshot against the system it is
+// restored onto.
+type AllocationSnapshot struct {
+	Strings  []StringState  `json:"strings"`
+	Machines []MachineState `json:"machines"`
+	Routes   []RouteState   `json:"routes,omitempty"`
+}
+
+// encBits hex-encodes a float64's IEEE-754 bit pattern (NaN-safe).
+func encBits(f float64) string {
+	return fmt.Sprintf("%016x", math.Float64bits(f))
+}
+
+// decBits decodes a hex bit pattern written by encBits.
+func decBits(s string) (float64, error) {
+	u, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("feasibility: bad float bit pattern %q: %w", s, err)
+	}
+	return math.Float64frombits(u), nil
+}
+
+func rosterPairs(refs []appRef) [][2]int {
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([][2]int, len(refs))
+	for idx, r := range refs {
+		out[idx] = [2]int{r.k, r.i}
+	}
+	return out
+}
+
+// Snapshot captures the allocation's observable state exactly. The attached
+// DeltaAnalyzer (if any) is not part of the snapshot; callers should Commit
+// any pending window first so the snapshot is of a settled state.
+func (a *Allocation) Snapshot() *AllocationSnapshot {
+	snap := &AllocationSnapshot{
+		Strings:  make([]StringState, len(a.machineOf)),
+		Machines: make([]MachineState, len(a.machineUtil)),
+	}
+	for k := range a.machineOf {
+		snap.Strings[k] = StringState{
+			Machines:  append([]int(nil), a.machineOf[k]...),
+			Tightness: encBits(a.tightness[k]),
+		}
+	}
+	for j := range a.machineUtil {
+		snap.Machines[j] = MachineState{
+			Util:   encBits(a.machineUtil[j]),
+			Roster: rosterPairs(a.perMachine[j]),
+		}
+	}
+	// Active routes in a canonical (from, to) order so equal states produce
+	// equal snapshot files regardless of activation history.
+	for j1 := range a.routeUtil {
+		for j2 := range a.routeUtil[j1] {
+			if j1 == j2 || len(a.perRoute[j1][j2]) == 0 {
+				continue
+			}
+			snap.Routes = append(snap.Routes, RouteState{
+				From:   j1,
+				To:     j2,
+				Util:   encBits(a.routeUtil[j1][j2]),
+				Roster: rosterPairs(a.perRoute[j1][j2]),
+			})
+		}
+	}
+	return snap
+}
+
+// FromSnapshot restores an allocation over sys from a snapshot previously
+// produced by Snapshot, reproducing the original's WriteState fingerprint
+// byte for byte. The snapshot is validated against the system: shape
+// mismatches, out-of-range references, and rosters inconsistent with the
+// assignment vectors are rejected rather than restored.
+func FromSnapshot(sys *model.System, snap *AllocationSnapshot) (*Allocation, error) {
+	if len(snap.Strings) != len(sys.Strings) {
+		return nil, fmt.Errorf("feasibility: snapshot has %d strings, system has %d",
+			len(snap.Strings), len(sys.Strings))
+	}
+	if len(snap.Machines) != sys.Machines {
+		return nil, fmt.Errorf("feasibility: snapshot has %d machines, system has %d",
+			len(snap.Machines), sys.Machines)
+	}
+	a := New(sys)
+	totalAssigned := 0
+	for k, ss := range snap.Strings {
+		if len(ss.Machines) != len(sys.Strings[k].Apps) {
+			return nil, fmt.Errorf("feasibility: snapshot string %d has %d assignments, want %d",
+				k, len(ss.Machines), len(sys.Strings[k].Apps))
+		}
+		n := 0
+		for i, j := range ss.Machines {
+			if j == Unassigned {
+				continue
+			}
+			if j < 0 || j >= sys.Machines {
+				return nil, fmt.Errorf("feasibility: snapshot string %d app %d on machine %d, out of range [0,%d)",
+					k, i, j, sys.Machines)
+			}
+			n++
+		}
+		t, err := decBits(ss.Tightness)
+		if err != nil {
+			return nil, fmt.Errorf("feasibility: snapshot string %d tightness: %w", k, err)
+		}
+		copy(a.machineOf[k], ss.Machines)
+		a.nAssigned[k] = n
+		a.tightness[k] = t
+		totalAssigned += n
+	}
+	rostered := 0
+	seen := make(map[appRef]bool, totalAssigned)
+	for j, ms := range snap.Machines {
+		u, err := decBits(ms.Util)
+		if err != nil {
+			return nil, fmt.Errorf("feasibility: snapshot machine %d util: %w", j, err)
+		}
+		a.machineUtil[j] = u
+		for _, ref := range ms.Roster {
+			k, i := ref[0], ref[1]
+			if k < 0 || k >= len(sys.Strings) || i < 0 || i >= len(sys.Strings[k].Apps) {
+				return nil, fmt.Errorf("feasibility: snapshot machine %d roster names unknown application (%d,%d)", j, k, i)
+			}
+			if a.machineOf[k][i] != j {
+				return nil, fmt.Errorf("feasibility: snapshot machine %d roster lists application (%d,%d), assigned to machine %d",
+					j, k, i, a.machineOf[k][i])
+			}
+			if seen[appRef{k, i}] {
+				return nil, fmt.Errorf("feasibility: snapshot machine rosters list application (%d,%d) twice", k, i)
+			}
+			seen[appRef{k, i}] = true
+			a.perMachine[j] = append(a.perMachine[j], appRef{k, i})
+		}
+		rostered += len(ms.Roster)
+	}
+	if rostered != totalAssigned {
+		return nil, fmt.Errorf("feasibility: snapshot rosters hold %d applications, assignment vectors hold %d",
+			rostered, totalAssigned)
+	}
+	// Expected inter-machine adjacent pairs, to cross-check route rosters.
+	wantRouted := 0
+	for k := range a.machineOf {
+		mo := a.machineOf[k]
+		for i := 0; i+1 < len(mo); i++ {
+			if mo[i] != Unassigned && mo[i+1] != Unassigned && mo[i] != mo[i+1] {
+				wantRouted++
+			}
+		}
+	}
+	routed := 0
+	seenRoute := make(map[appRef]bool, wantRouted)
+	for _, rs := range snap.Routes {
+		if rs.From < 0 || rs.From >= sys.Machines || rs.To < 0 || rs.To >= sys.Machines || rs.From == rs.To {
+			return nil, fmt.Errorf("feasibility: snapshot route %d->%d invalid for %d machines", rs.From, rs.To, sys.Machines)
+		}
+		if len(rs.Roster) == 0 {
+			return nil, fmt.Errorf("feasibility: snapshot route %d->%d has an empty roster", rs.From, rs.To)
+		}
+		if a.routePos[rs.From][rs.To] >= 0 {
+			return nil, fmt.Errorf("feasibility: snapshot lists route %d->%d twice", rs.From, rs.To)
+		}
+		u, err := decBits(rs.Util)
+		if err != nil {
+			return nil, fmt.Errorf("feasibility: snapshot route %d->%d util: %w", rs.From, rs.To, err)
+		}
+		for _, ref := range rs.Roster {
+			k, i := ref[0], ref[1]
+			if k < 0 || k >= len(sys.Strings) || i < 0 || i+1 >= len(sys.Strings[k].Apps) {
+				return nil, fmt.Errorf("feasibility: snapshot route %d->%d roster names unknown producer (%d,%d)", rs.From, rs.To, k, i)
+			}
+			if a.machineOf[k][i] != rs.From || a.machineOf[k][i+1] != rs.To {
+				return nil, fmt.Errorf("feasibility: snapshot route %d->%d roster lists (%d,%d), whose transfer runs %d->%d",
+					rs.From, rs.To, k, i, a.machineOf[k][i], a.machineOf[k][i+1])
+			}
+			if seenRoute[appRef{k, i}] {
+				return nil, fmt.Errorf("feasibility: snapshot route rosters list producer (%d,%d) twice", k, i)
+			}
+			seenRoute[appRef{k, i}] = true
+			a.perRoute[rs.From][rs.To] = append(a.perRoute[rs.From][rs.To], appRef{k, i})
+		}
+		a.routeUtil[rs.From][rs.To] = u
+		a.activateRoute(rs.From, rs.To)
+		routed += len(rs.Roster)
+	}
+	if routed != wantRouted {
+		return nil, fmt.Errorf("feasibility: snapshot route rosters hold %d transfers, assignments imply %d", routed, wantRouted)
+	}
+	return a, nil
+}

@@ -1,0 +1,140 @@
+package feasibility
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// churn runs random assign/unassign cycles so the utilization accumulators
+// carry float residue a replay could not reproduce.
+func churn(rng *rand.Rand, a *Allocation, steps int) {
+	sys := a.System()
+	type slot struct{ k, i int }
+	var assigned []slot
+	for step := 0; step < steps; step++ {
+		if len(assigned) > 0 && rng.Float64() < 0.45 {
+			idx := rng.Intn(len(assigned))
+			s := assigned[idx]
+			a.Unassign(s.k, s.i)
+			assigned[idx] = assigned[len(assigned)-1]
+			assigned = assigned[:len(assigned)-1]
+		} else {
+			k := rng.Intn(len(sys.Strings))
+			i := rng.Intn(len(sys.Strings[k].Apps))
+			if a.Machine(k, i) != Unassigned {
+				continue
+			}
+			a.Assign(k, i, rng.Intn(sys.Machines))
+			assigned = append(assigned, slot{k, i})
+		}
+	}
+}
+
+// Property: Snapshot -> JSON -> FromSnapshot reproduces the WriteState
+// fingerprint byte for byte, including float residue from churn.
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		sys := randomSystem(rng, 2+rng.Intn(4), 1+rng.Intn(6), 5)
+		a := New(sys)
+		churn(rng, a, 300)
+		data, err := json.Marshal(a.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap AllocationSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := FromSnapshot(sys, &snap)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, got := fingerprint(t, a), fingerprint(t, restored)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("trial %d: restored fingerprint differs\nwant:\n%s\ngot:\n%s", trial, want, got)
+		}
+	}
+}
+
+// A restored allocation must keep working: further identical operations on
+// the original and the restored copy stay bit-identical, and a DeltaAnalyzer
+// attaches cleanly.
+func TestSnapshotRestoredAllocationIsLive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sys := randomSystem(rng, 4, 6, 4)
+	a := New(sys)
+	churn(rng, a, 200)
+	restored, err := FromSnapshot(sys, a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := Track(restored)
+	defer da.Close()
+	for k := range sys.Strings {
+		if restored.Complete(k) {
+			restored.UnassignString(k)
+			a.UnassignString(k)
+			break
+		}
+	}
+	da.Commit()
+	if !bytes.Equal(fingerprint(t, a), fingerprint(t, restored)) {
+		t.Error("original and restored diverged after identical post-restore operations")
+	}
+	if got, want := da.FeasibleAfterDelta(), a.TwoStageFeasible(); got != want {
+		t.Errorf("restored delta feasibility = %v, full analysis on original = %v", got, want)
+	}
+}
+
+func TestFromSnapshotRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sys := randomSystem(rng, 3, 4, 3)
+	a := New(sys)
+	churn(rng, a, 150)
+	base := a.Snapshot()
+
+	corrupt := []struct {
+		name string
+		mod  func(s *AllocationSnapshot)
+	}{
+		{"string count", func(s *AllocationSnapshot) { s.Strings = s.Strings[:len(s.Strings)-1] }},
+		{"machine count", func(s *AllocationSnapshot) { s.Machines = s.Machines[:len(s.Machines)-1] }},
+		{"machine range", func(s *AllocationSnapshot) { s.Strings[0].Machines[0] = 99 }},
+		{"bad bits", func(s *AllocationSnapshot) { s.Machines[0].Util = "zz" }},
+		{"roster mismatch", func(s *AllocationSnapshot) {
+			for j := range s.Machines {
+				if len(s.Machines[j].Roster) > 0 {
+					s.Machines[j].Roster[0] = [2]int{0, 0}
+					if a.Machine(0, 0) == j {
+						s.Machines[j].Roster[0] = [2]int{1, 0}
+						if a.Machine(1, 0) == j {
+							s.Machines[j].Roster = s.Machines[j].Roster[:len(s.Machines[j].Roster)-1]
+						}
+					}
+					return
+				}
+			}
+		}},
+		{"route self-loop", func(s *AllocationSnapshot) {
+			if len(s.Routes) == 0 {
+				s.Strings = nil // force a different failure so the case still errors
+				return
+			}
+			s.Routes[0].To = s.Routes[0].From
+		}},
+	}
+	for _, tc := range corrupt {
+		data, _ := json.Marshal(base)
+		var snap AllocationSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatal(err)
+		}
+		tc.mod(&snap)
+		if _, err := FromSnapshot(sys, &snap); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", tc.name)
+		}
+	}
+}

@@ -18,12 +18,12 @@
 package overload
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"sort"
+
+	"repro/internal/scenario"
 )
 
 // Kind discriminates the surge shapes.
@@ -118,7 +118,7 @@ func (e Event) validate(idx, n int) error {
 	}
 	for _, k := range e.Strings {
 		if k < 0 || (n > 0 && k >= n) {
-			return fmt.Errorf("%s: string %d out of range [0,%d)", label, k, n)
+			return fmt.Errorf("%s: string %d out of range [0,%d): %w", label, k, n, scenario.ErrOutOfRange)
 		}
 	}
 	return nil
@@ -128,7 +128,10 @@ func (e Event) validate(idx, n int) error {
 // system. Scenarios serialize to JSON so experiments and the CLIs can share
 // hand-written or sampled surge files.
 type Scenario struct {
-	Name string `json:"name,omitempty"`
+	// Version is the scenario file version (0 for pre-versioned files); the
+	// shared loader rejects files newer than scenario.MaxVersion.
+	Version int    `json:"version,omitempty"`
+	Name    string `json:"name,omitempty"`
 	// Seed records the generator seed a sampled scenario came from (0 for
 	// hand-written scenarios); informational only.
 	Seed   int64   `json:"seed,omitempty"`
@@ -220,16 +223,18 @@ func (sc *Scenario) Active(t float64) bool {
 	return false
 }
 
-// ParseScenario parses and validates a scenario from JSON bytes. Structural
-// validation (finite times, positive factors, duplicate IDs) runs here;
-// string indices are range-checked too when the caller later revalidates
-// against a concrete system with Validate(n).
+// ValidateStructure runs the system-independent event checks for the shared
+// scenario loader: Validate with the string-range check skipped.
+func (sc *Scenario) ValidateStructure() error { return sc.Validate(0) }
+
+// ParseScenario parses and validates a scenario from JSON bytes via the
+// shared versioned loader. Structural validation (finite times, positive
+// factors, duplicate IDs) runs here; string indices are range-checked too
+// when the caller later revalidates against a concrete system with
+// Validate(n).
 func ParseScenario(data []byte) (*Scenario, error) {
 	var sc Scenario
-	if err := json.Unmarshal(data, &sc); err != nil {
-		return nil, fmt.Errorf("overload: decoding scenario: %w", err)
-	}
-	if err := sc.Validate(0); err != nil {
+	if err := scenario.Parse(data, "overload", &sc); err != nil {
 		return nil, err
 	}
 	return &sc, nil
@@ -237,42 +242,28 @@ func ParseScenario(data []byte) (*Scenario, error) {
 
 // WriteJSON serializes the scenario as indented JSON.
 func (sc *Scenario) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(sc); err != nil {
-		return fmt.Errorf("overload: encoding scenario: %w", err)
-	}
-	return nil
+	return scenario.WriteJSON(w, "overload", sc)
 }
 
 // ReadJSON parses a scenario from a reader (see ParseScenario).
 func ReadJSON(r io.Reader) (*Scenario, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("overload: reading scenario: %w", err)
+	var sc Scenario
+	if err := scenario.Read(r, "overload", &sc); err != nil {
+		return nil, err
 	}
-	return ParseScenario(data)
+	return &sc, nil
 }
 
 // SaveFile writes the scenario to path as JSON.
 func (sc *Scenario) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("overload: %w", err)
-	}
-	defer f.Close()
-	if err := sc.WriteJSON(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return scenario.SaveFile(path, "overload", sc)
 }
 
-// LoadFile reads a scenario from a JSON file.
+// LoadFile reads a scenario from a JSON file via the shared versioned loader.
 func LoadFile(path string) (*Scenario, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("overload: %w", err)
+	var sc Scenario
+	if err := scenario.ParseScenarioFile(path, "overload", &sc); err != nil {
+		return nil, err
 	}
-	defer f.Close()
-	return ReadJSON(f)
+	return &sc, nil
 }

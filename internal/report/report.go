@@ -121,38 +121,69 @@ func WriteViolations(w io.Writer, a *feasibility.Allocation) {
 	}
 }
 
+// derivedMetric names one derived ratio and how to render it.
+type derivedMetric struct {
+	key     string // stable map key for machine consumers (/v1/metrics)
+	label   string // human label for the text report
+	percent bool
+}
+
+// derivedOrder fixes the presentation order of the derived ratios.
+var derivedOrder = []derivedMetric{
+	{"decode_memo_hit_rate", "decode memo hit rate", true},
+	{"worker_utilization", "worker utilization", true},
+	{"delta_dirty_strings_per_eval", "delta dirty strings/eval", false},
+	{"delta_recheck_strings_per_eval", "delta recheck strings/eval", false},
+}
+
+// Derived computes the derived ratios operators actually read — decode-memo
+// hit rate and worker-pool utilization (both in [0,1]), and the delta
+// analyzer's average dirty and recheck set sizes per incremental evaluation —
+// from their constituent counters. Ratios whose denominator counters are zero
+// are omitted, so an empty snapshot yields an empty map. The text report and
+// the service /v1/metrics endpoint share this computation.
+func Derived(snap telemetry.Snapshot) map[string]float64 {
+	out := make(map[string]float64)
+	hit := snap.Counter("heuristics.decode.memo_hit")
+	miss := snap.Counter("heuristics.decode.memo_miss")
+	if hit+miss > 0 {
+		out["decode_memo_hit_rate"] = float64(hit) / float64(hit+miss)
+	}
+	if capacity := snap.Counter("pool.capacity_ns"); capacity > 0 {
+		out["worker_utilization"] = float64(snap.Counter("pool.busy_ns")) / float64(capacity)
+	}
+	if evals := snap.Counter("feasibility.delta.evals"); evals > 0 {
+		out["delta_dirty_strings_per_eval"] =
+			float64(snap.Counter("feasibility.delta.dirty_strings")) / float64(evals)
+		out["delta_recheck_strings_per_eval"] =
+			float64(snap.Counter("feasibility.delta.recheck_strings")) / float64(evals)
+	}
+	return out
+}
+
 // WriteTelemetry renders a telemetry snapshot: the raw instrument dump
-// followed by the derived ratios operators actually read — decode-memo hit
-// rate, worker-pool utilization, and the delta analyzer's average dirty and
-// recheck set sizes per incremental evaluation — computed at print time from
-// their constituent counters. Empty snapshots print nothing.
+// followed by the Derived ratios, computed at print time from their
+// constituent counters. Empty snapshots print nothing.
 func WriteTelemetry(w io.Writer, snap telemetry.Snapshot) {
 	if snap.Empty() {
 		return
 	}
 	fmt.Fprintln(w, "telemetry:")
 	snap.WriteText(w)
-	hit := snap.Counter("heuristics.decode.memo_hit")
-	miss := snap.Counter("heuristics.decode.memo_miss")
-	busy := snap.Counter("pool.busy_ns")
-	capacity := snap.Counter("pool.capacity_ns")
-	evals := snap.Counter("feasibility.delta.evals")
-	if hit+miss > 0 || capacity > 0 || evals > 0 {
+	derived := Derived(snap)
+	if len(derived) > 0 {
 		fmt.Fprintln(w, "derived:")
 	}
-	if hit+miss > 0 {
-		fmt.Fprintf(w, "  %-42s %11.1f%%\n", "decode memo hit rate",
-			100*float64(hit)/float64(hit+miss))
-	}
-	if capacity > 0 {
-		fmt.Fprintf(w, "  %-42s %11.1f%%\n", "worker utilization",
-			100*float64(busy)/float64(capacity))
-	}
-	if evals > 0 {
-		fmt.Fprintf(w, "  %-42s %12.2f\n", "delta dirty strings/eval",
-			float64(snap.Counter("feasibility.delta.dirty_strings"))/float64(evals))
-		fmt.Fprintf(w, "  %-42s %12.2f\n", "delta recheck strings/eval",
-			float64(snap.Counter("feasibility.delta.recheck_strings"))/float64(evals))
+	for _, m := range derivedOrder {
+		v, ok := derived[m.key]
+		if !ok {
+			continue
+		}
+		if m.percent {
+			fmt.Fprintf(w, "  %-42s %11.1f%%\n", m.label, 100*v)
+		} else {
+			fmt.Fprintf(w, "  %-42s %12.2f\n", m.label, v)
+		}
 	}
 }
 

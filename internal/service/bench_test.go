@@ -1,0 +1,77 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// benchSystem builds the loaded admission workload: M uniform machines
+// carrying 2M two-app strings, so every machine hosts ~4 applications at ~80%
+// utilization. Dense rosters are the operating point that matters for a
+// daemon — full re-analysis has to walk every string's sharing neighborhood
+// while the delta path rechecks only the strings touching the two machines
+// the admitted string landed on.
+func benchSystem(m int) *model.System {
+	sys := model.NewUniformSystem(m, 100)
+	for k := 0; k < 2*m; k++ {
+		sys.AddString(model.AppString{
+			Worth:      1 + float64(k%7),
+			Period:     100,
+			MaxLatency: 500,
+			Apps: []model.Application{
+				model.UniformApp(m, 1.0, 0.2, 10),
+				model.UniformApp(m, 1.0, 0.2, 10),
+			},
+		})
+	}
+	return sys
+}
+
+// BenchmarkServiceAdmit measures served admission throughput on a loaded
+// M-machine, 2M-string system: each iteration admits one held-out string and
+// removes it again through the full service path (request channel, masked IMR
+// placement, evaluation, commit, decision assembly). The delta arm evaluates
+// with FeasibleAfterDelta; the full arm is the FullAnalysis fallback a daemon
+// without the incremental analyzer would run, re-analyzing both state
+// changes. Results are recorded in BENCH_service.json; the acceptance target
+// is delta >= 5x full at M=512.
+func BenchmarkServiceAdmit(b *testing.B) {
+	for _, m := range []int{64, 512} {
+		for _, arm := range []struct {
+			name string
+			full bool
+		}{
+			{"delta", false},
+			{"full", true},
+		} {
+			b.Run(fmt.Sprintf("%s/M=%d", arm.name, m), func(b *testing.B) {
+				svc, err := New(Config{System: benchSystem(m), FullAnalysis: arm.full})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				for k := 0; k < 2*m; k++ {
+					if d, err := svc.Admit(k); err != nil || !d.Accepted {
+						b.Fatalf("admit %d: %v %+v", k, err, d)
+					}
+				}
+				if _, err := svc.Remove(0); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					d, err := svc.Admit(0)
+					if err != nil || !d.Accepted {
+						b.Fatalf("admit: %v %+v", err, d)
+					}
+					if _, err := svc.Remove(0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// HTTP layer: a stateless translation between the versioned JSON wire
+// contract and the Service methods. Request bodies are decoded strictly
+// (unknown fields rejected), every error is the single envelope shape, and
+// error codes map to HTTP statuses here and nowhere else.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/overload"
+	"repro/internal/scenario"
+)
+
+// maxBodyBytes bounds request bodies; scenario files are small.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/admit", s.handleAdmit)
+	mux.HandleFunc("POST /v1/remove", s.handleRemove)
+	mux.HandleFunc("POST /v1/rescale", s.handleRescale)
+	mux.HandleFunc("POST /v1/faults", s.handleFaults)
+	mux.HandleFunc("POST /v1/surge", s.handleSurge)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/state", s.handleState)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	return mux
+}
+
+// statusFor maps envelope error codes to HTTP statuses.
+func statusFor(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnknownString, CodeUnknownResource:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr renders any error as the envelope; non-envelope errors become
+// CodeInternal.
+func writeErr(w http.ResponseWriter, err error) {
+	var env *ErrorEnvelope
+	if !errors.As(err, &env) {
+		env = Errorf(CodeInternal, nil, "%v", err)
+	}
+	writeJSON(w, statusFor(env.Err.Code), env)
+}
+
+// decodeStrict decodes one JSON object, rejecting unknown fields, trailing
+// data, and oversized bodies.
+func decodeStrict(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, Errorf(CodeBadRequest, nil, "malformed request body: %v", err))
+		return false
+	}
+	if dec.More() {
+		writeErr(w, Errorf(CodeBadRequest, nil, "trailing data after request body"))
+		return false
+	}
+	return true
+}
+
+// writeDecision renders a Decision: accepted operations are 200, rejected
+// ones 422 so curl -f and scripts can branch on the status alone.
+func writeDecision(w http.ResponseWriter, d Decision, err error) {
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	status := http.StatusOK
+	if !d.Accepted {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, d)
+}
+
+func (s *Service) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var req AdmitRequest
+	if !decodeStrict(w, r, &req) {
+		return
+	}
+	d, err := s.Admit(req.StringID)
+	writeDecision(w, d, err)
+}
+
+func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req RemoveRequest
+	if !decodeStrict(w, r, &req) {
+		return
+	}
+	d, err := s.Remove(req.StringID)
+	writeDecision(w, d, err)
+}
+
+func (s *Service) handleRescale(w http.ResponseWriter, r *http.Request) {
+	var req RescaleRequest
+	if !decodeStrict(w, r, &req) {
+		return
+	}
+	d, err := s.Rescale(req.StringID, req.Factor)
+	writeDecision(w, d, err)
+}
+
+func (s *Service) handleFaults(w http.ResponseWriter, r *http.Request) {
+	var req FaultsRequest
+	if !decodeStrict(w, r, &req) {
+		return
+	}
+	d, err := s.Faults(req)
+	writeDecision(w, d, err)
+}
+
+func (s *Service) handleSurge(w http.ResponseWriter, r *http.Request) {
+	// The body is a surge scenario file; route it through the shared
+	// versioned loader so the API and the CLIs accept identical files.
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, Errorf(CodeBadRequest, nil, "read request body: %v", err))
+		return
+	}
+	var sc overload.Scenario
+	if err := scenario.Parse(data, "overload", &sc); err != nil {
+		writeErr(w, Errorf(CodeBadRequest, nil, "%v", err))
+		return
+	}
+	d, err := s.Surge(&sc)
+	writeDecision(w, d, err)
+}
+
+func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req SnapshotRequest
+	if !decodeStrict(w, r, &req) {
+		return
+	}
+	resp, err := s.Snapshot(req.Path)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.State()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleEvents streams the buffered decisions with Seq > since as JSONL, one
+// decision per line.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	since := uint64(0)
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeErr(w, Errorf(CodeBadRequest, nil, "since = %q, want a non-negative integer", q))
+			return
+		}
+		since = v
+	}
+	events, err := s.Events(since)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, d := range events {
+		if err := enc.Encode(d); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,734 @@
+// The service state loop. One goroutine owns the live allocation and its
+// DeltaAnalyzer; HTTP handlers and embedding callers submit closures that the
+// loop runs one at a time. Single-writer ordering is what makes the delta
+// path safe: every operation mutates the allocation inside an open analyzer
+// window and then either Commits (accepted) or Undoes (rejected,
+// bit-identical rollback), so the next operation always starts from a settled
+// base. The serve path never runs a full two-stage re-analysis and never
+// rebases the analyzer; full analysis exists only behind the FullAnalysis
+// fallback used to benchmark and cross-check the delta path.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dynamic"
+	"repro/internal/faults"
+	"repro/internal/feasibility"
+	"repro/internal/heuristics"
+	"repro/internal/lp"
+	"repro/internal/model"
+	"repro/internal/overload"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/soak"
+	"repro/internal/telemetry"
+)
+
+// Config configures a Service.
+type Config struct {
+	// System is the machine suite and string catalog the daemon serves.
+	System *model.System
+	// Heuristic optionally names an initial mapping heuristic (heuristics.Run
+	// names: MWF, TF, PSG, ...); empty starts with nothing mapped and lets
+	// clients admit strings one by one.
+	Heuristic string
+	// Search configures the initial heuristic run.
+	Search heuristics.PSGConfig
+	// Overload configures surge episodes (POST /v1/surge).
+	Overload overload.Config
+	// Repair bounds the fault-repair loops (POST /v1/faults).
+	Repair dynamic.Options
+	// LPBound enables the relaxed-LP upper bound on total worth, re-solved
+	// with a warm-started simplex basis when a rescale changes the system.
+	LPBound bool
+	// FullAnalysis switches every admission evaluation from the incremental
+	// delta path to a full two-stage re-analysis. It exists to benchmark and
+	// cross-check the delta path; production daemons leave it false.
+	FullAnalysis bool
+	// EventBuffer is the capacity of the decision event ring (default 1024).
+	EventBuffer int
+	// SnapshotPath is the default target of POST /v1/snapshot.
+	SnapshotPath string
+}
+
+// WithDefaults fills zero fields with usable defaults.
+func (c Config) WithDefaults() Config {
+	if c.EventBuffer == 0 {
+		c.EventBuffer = 1024
+	}
+	if c.SnapshotPath == "" {
+		c.SnapshotPath = "shipd-snapshot.json"
+	}
+	c.Overload = c.Overload.WithDefaults()
+	c.Repair = c.Repair.WithDefaults()
+	return c
+}
+
+// Validate rejects unusable configurations; zero fields are defaulted first,
+// so only genuinely invalid values (negative thresholds, nil system) fail.
+func (c Config) Validate() error {
+	c = c.WithDefaults()
+	if c.System == nil {
+		return errors.New("service: Config.System is nil")
+	}
+	var errs []error
+	if err := c.System.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := c.Overload.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := c.Repair.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if c.EventBuffer < 0 {
+		errs = append(errs, fmt.Errorf("service: EventBuffer = %d, want >= 0", c.EventBuffer))
+	}
+	return errors.Join(errs...)
+}
+
+// state is the single-writer daemon state; only the loop goroutine touches it.
+type state struct {
+	cfg    Config
+	sys    *model.System
+	alloc  *feasibility.Allocation
+	da     *feasibility.DeltaAnalyzer
+	mapped []bool
+	// worth and nMapped mirror the mapped set incrementally so serving
+	// decisions never rescan the catalog: admit/remove adjust them in O(1),
+	// control-plane rebuilds (faults, surge, restore) recount them.
+	worth   float64
+	nMapped int
+	// scale[k] is the cumulative demand factor applied to string k via
+	// /v1/rescale, relative to the catalog the daemon started from.
+	scale  []float64
+	down   *faults.Set
+	seq    uint64
+	events *eventLog
+	// bound is the current LP worth upper bound (nil when disabled or the
+	// solve failed); boundWarm records whether the last re-solve reused the
+	// previous simplex basis.
+	bound     *lp.Bound
+	boundWarm bool
+}
+
+// Service owns a live allocation and serializes all operations through one
+// state-loop goroutine. All exported methods are safe for concurrent use.
+type Service struct {
+	st   *state // owned by the loop goroutine after New returns
+	reqs chan request
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+type request struct {
+	fn   func(*state)
+	done chan struct{}
+}
+
+// New builds the initial state (optionally running a mapping heuristic),
+// attaches the delta analyzer, and starts the state loop.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := cfg.System
+	st := &state{
+		cfg:    cfg,
+		sys:    sys,
+		down:   faults.NewSet(sys.Machines),
+		scale:  unitScales(len(sys.Strings)),
+		events: newEventLog(cfg.EventBuffer),
+	}
+	if cfg.Heuristic != "" {
+		r := heuristics.Run(cfg.Heuristic, sys, cfg.Search)
+		st.alloc = r.Alloc
+		st.mapped = append([]bool(nil), r.Mapped...)
+	} else {
+		st.alloc = feasibility.New(sys)
+		st.mapped = make([]bool, len(sys.Strings))
+	}
+	return startService(st)
+}
+
+// startService attaches the analyzer (the one startup rebase), solves the
+// initial LP bound, and launches the loop. Shared by New and Restore.
+func startService(st *state) (*Service, error) {
+	if st.da = st.alloc.Tracker(); st.da == nil {
+		st.da = feasibility.Track(st.alloc)
+	}
+	st.recount()
+	if st.cfg.LPBound {
+		st.solveBound()
+	}
+	s := &Service{
+		st:   st,
+		reqs: make(chan request),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+func unitScales(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func (s *Service) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.quit:
+			return
+		case req := <-s.reqs:
+			req.fn(s.st)
+			close(req.done)
+		}
+	}
+}
+
+// Close stops the state loop; pending and later calls fail with
+// CodeUnavailable. Safe to call more than once.
+func (s *Service) Close() {
+	s.once.Do(func() { close(s.quit) })
+	<-s.done
+}
+
+var errUnavailable = Errorf(CodeUnavailable, nil, "service is shut down")
+
+// exec runs fn on the state loop and waits for it.
+func (s *Service) exec(fn func(*state)) error {
+	req := request{fn: fn, done: make(chan struct{})}
+	select {
+	case s.reqs <- req:
+	case <-s.quit:
+		return errUnavailable
+	}
+	select {
+	case <-req.done:
+		return nil
+	case <-s.done:
+		// The loop may have finished this very request before exiting.
+		select {
+		case <-req.done:
+			return nil
+		default:
+		}
+		return errUnavailable
+	}
+}
+
+// run executes op on the state loop and normalizes the (Decision, envelope)
+// pair into Go's (value, error) shape.
+func (s *Service) run(op func(*state) (Decision, *ErrorEnvelope)) (Decision, error) {
+	var d Decision
+	var e *ErrorEnvelope
+	if err := s.exec(func(st *state) { d, e = op(st) }); err != nil {
+		return Decision{}, err
+	}
+	if e != nil {
+		return Decision{}, e
+	}
+	return d, nil
+}
+
+// Admit maps string k onto the surviving resources and accepts the admission
+// iff the incremental two-stage analysis stays feasible.
+func (s *Service) Admit(k int) (Decision, error) {
+	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.admit(k) })
+}
+
+// Remove unmaps string k.
+func (s *Service) Remove(k int) (Decision, error) {
+	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.remove(k) })
+}
+
+// Rescale multiplies string k's demand by factor and, if the string is
+// mapped, re-places it; a rescale that cannot be placed feasibly is rejected
+// and rolled back bit-identically.
+func (s *Service) Rescale(k int, factor float64) (Decision, error) {
+	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.rescale(k, factor) })
+}
+
+// Faults applies resource outages/repairs and runs the fault-survival repair
+// on the live allocation.
+func (s *Service) Faults(req FaultsRequest) (Decision, error) {
+	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.applyFaults(req) })
+}
+
+// Surge runs a demand-surge episode through the degradation controller and
+// adopts the resulting mapping.
+func (s *Service) Surge(sc *overload.Scenario) (Decision, error) {
+	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.applySurge(sc) })
+}
+
+// State returns the full observable daemon state.
+func (s *Service) State() (StateResponse, error) {
+	var resp StateResponse
+	if err := s.exec(func(st *state) { resp = st.stateResponse() }); err != nil {
+		return StateResponse{}, err
+	}
+	return resp, nil
+}
+
+// Events returns the buffered decisions with Seq > since, oldest first.
+func (s *Service) Events(since uint64) ([]Decision, error) {
+	var out []Decision
+	if err := s.exec(func(st *state) { out = st.events.since(since) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Metrics returns the telemetry snapshot plus derived ratios. It does not
+// touch allocation state and needs no loop round trip.
+func (s *Service) Metrics() MetricsResponse {
+	snap := telemetry.Capture()
+	return MetricsResponse{
+		SchemaVersion: SchemaVersion,
+		Telemetry:     snap,
+		Derived:       report.Derived(snap),
+	}
+}
+
+// --- state-loop operations ---
+
+// checkString validates a string index.
+func (st *state) checkString(k int) *ErrorEnvelope {
+	if k < 0 || k >= len(st.sys.Strings) {
+		return Errorf(CodeUnknownString, nil, "string %d out of range [0,%d)", k, len(st.sys.Strings))
+	}
+	return nil
+}
+
+// recount rebuilds the incremental worth and mapped-count mirrors from the
+// mapped set. Control-plane entry points (startup, faults, surge) call it;
+// serving operations adjust the mirrors in O(1) instead. Worths in the paper
+// workloads are small integers, so the incremental sum stays exact; for
+// arbitrary float worths it is reporting-only and never feeds feasibility.
+func (st *state) recount() {
+	st.worth, st.nMapped = 0, 0
+	for k, m := range st.mapped {
+		if m {
+			st.worth += st.sys.Strings[k].Worth
+			st.nMapped++
+		}
+	}
+}
+
+// feasibleNow evaluates the current analyzer window: the delta path by
+// default, the full two-stage analysis under the FullAnalysis fallback.
+func (st *state) feasibleNow() bool {
+	if st.cfg.FullAnalysis {
+		return st.alloc.TwoStageFeasible()
+	}
+	return st.da.FeasibleAfterDelta()
+}
+
+// violationsNow reports the stage-2 violations of the current window.
+func (st *state) violationsNow() []feasibility.Violation {
+	if st.cfg.FullAnalysis {
+		return st.alloc.Violations()
+	}
+	return st.da.ViolationsAfterDelta()
+}
+
+// metricNow evaluates the performance metric of the settled state. It is a
+// control-plane view (GET /v1/state): serving decisions report the
+// incremental worth mirror and a direct Slackness call instead, which compute
+// the same numbers without the metric's O(K) completeness scan.
+func (st *state) metricNow() feasibility.Metric {
+	if st.cfg.FullAnalysis {
+		return st.alloc.Metric()
+	}
+	return st.da.MetricAfterDelta()
+}
+
+// solveBound (re-)solves the relaxed worth LP, warm-starting from the
+// previous optimal basis when one exists. The bound is advisory: a solver
+// failure clears it rather than failing the operation.
+func (st *state) solveBound() {
+	cfg := lp.Config{Formulation: lp.Relaxed, Objective: lp.MaximizeWorth}
+	if st.bound != nil {
+		cfg.WarmBasis = st.bound.Basis
+	}
+	b, err := lp.UpperBound(st.sys, cfg)
+	if err != nil {
+		st.bound = nil
+		st.boundWarm = false
+		return
+	}
+	st.bound = b
+	st.boundWarm = b.WarmStarted
+}
+
+func (st *state) machineOK(j int) bool    { return !st.down.MachineDown(j) }
+func (st *state) routeOK(j1, j2 int) bool { return !st.down.RouteDown(j1, j2) }
+
+// finish stamps the common Decision fields, advances the sequence number,
+// and records the decision in the event ring.
+func (st *state) finish(d *Decision) Decision {
+	st.seq++
+	d.SchemaVersion = SchemaVersion
+	d.Seq = st.seq
+	d.Mapped = st.nMapped
+	if d.WorthBefore > 0 {
+		d.WorthRetained = d.WorthAfter / d.WorthBefore
+	} else {
+		d.WorthRetained = 1
+	}
+	if st.bound != nil {
+		d.WorthBound = st.bound.Objective
+		d.BoundWarmStarted = st.boundWarm
+	}
+	st.events.append(*d)
+	return *d
+}
+
+// reject builds a rejected Decision; the state has already been rolled back.
+func (st *state) reject(op string, k int, worthBefore, slackness float64, reason string, viol []feasibility.Violation) Decision {
+	d := Decision{
+		Op:          op,
+		Accepted:    false,
+		StringID:    k,
+		Reason:      reason,
+		WorthBefore: worthBefore,
+		WorthAfter:  worthBefore,
+		Slackness:   slackness,
+		Violations:  fromViolations(viol),
+	}
+	return st.finish(&d)
+}
+
+func (st *state) admit(k int) (Decision, *ErrorEnvelope) {
+	if e := st.checkString(k); e != nil {
+		return Decision{}, e
+	}
+	if st.mapped[k] {
+		return Decision{}, Errorf(CodeConflict, nil, "string %d is already mapped", k)
+	}
+	worthBefore := st.worth
+	if !heuristics.MapStringIMRMasked(st.alloc, k, st.machineOK, st.routeOK) {
+		// Partial placements leave float residue; roll the window back.
+		st.da.Undo()
+		return st.reject("admit", k, worthBefore, st.alloc.Slackness(),
+			"no feasible placement on surviving resources", nil), nil
+	}
+	if !st.feasibleNow() {
+		viol := st.violationsNow()
+		st.da.Undo()
+		return st.reject("admit", k, worthBefore, st.alloc.Slackness(),
+			"placement violates QoS of co-resident strings", viol), nil
+	}
+	st.da.Commit()
+	st.mapped[k] = true
+	st.worth += st.sys.Strings[k].Worth
+	st.nMapped++
+	d := Decision{
+		Op:          "admit",
+		Accepted:    true,
+		StringID:    k,
+		WorthBefore: worthBefore,
+		WorthAfter:  st.worth,
+		Slackness:   st.alloc.Slackness(),
+	}
+	return st.finish(&d), nil
+}
+
+func (st *state) remove(k int) (Decision, *ErrorEnvelope) {
+	if e := st.checkString(k); e != nil {
+		return Decision{}, e
+	}
+	if !st.mapped[k] {
+		return Decision{}, Errorf(CodeConflict, nil, "string %d is not mapped", k)
+	}
+	worthBefore := st.worth
+	st.alloc.UnassignString(k)
+	st.mapped[k] = false
+	st.worth -= st.sys.Strings[k].Worth
+	st.nMapped--
+	// Removal cannot introduce violations, but the evaluation keeps the
+	// analyzer's feasibility baseline current (and, under the FullAnalysis
+	// fallback, re-runs the full analysis as a daemon without the delta
+	// path would have to).
+	_ = st.feasibleNow()
+	st.da.Commit()
+	d := Decision{
+		Op:          "remove",
+		Accepted:    true,
+		StringID:    k,
+		WorthBefore: worthBefore,
+		WorthAfter:  st.worth,
+		Slackness:   st.alloc.Slackness(),
+	}
+	return st.finish(&d), nil
+}
+
+// savedString holds the catalog floats of one string for rollback.
+type savedString struct {
+	times  [][]float64
+	output []float64
+}
+
+// saveString copies string k's demand floats before an in-place rescale.
+func (st *state) saveString(k int) savedString {
+	apps := st.sys.Strings[k].Apps
+	sv := savedString{times: make([][]float64, len(apps)), output: make([]float64, len(apps))}
+	for i := range apps {
+		sv.times[i] = append([]float64(nil), apps[i].NominalTime...)
+		sv.output[i] = apps[i].OutputKB
+	}
+	return sv
+}
+
+func (st *state) restoreString(k int, sv savedString) {
+	apps := st.sys.Strings[k].Apps
+	for i := range apps {
+		copy(apps[i].NominalTime, sv.times[i])
+		apps[i].OutputKB = sv.output[i]
+	}
+}
+
+// scaleString multiplies string k's demand in place (same semantics as
+// dynamic.ScaleStrings, restricted to one string). Safe only while string k
+// is fully unassigned: no accumulator holds contributions from it.
+func (st *state) scaleString(k int, factor float64) {
+	apps := st.sys.Strings[k].Apps
+	for i := range apps {
+		for j := range apps[i].NominalTime {
+			apps[i].NominalTime[j] *= factor
+		}
+		apps[i].OutputKB *= factor
+	}
+}
+
+func (st *state) rescale(k int, factor float64) (Decision, *ErrorEnvelope) {
+	if e := st.checkString(k); e != nil {
+		return Decision{}, e
+	}
+	if !(factor > 0) || math.IsInf(factor, 0) {
+		return Decision{}, Errorf(CodeBadRequest, nil, "rescale factor = %v, want finite positive", factor)
+	}
+	worthBefore := st.worth
+	if !st.mapped[k] {
+		// Catalog-only change; nothing placed, nothing to evaluate.
+		st.scaleString(k, factor)
+		st.scale[k] *= factor
+		if st.cfg.LPBound {
+			st.solveBound()
+		}
+		d := Decision{
+			Op:          "rescale",
+			Accepted:    true,
+			StringID:    k,
+			WorthBefore: worthBefore,
+			WorthAfter:  worthBefore,
+			Slackness:   st.alloc.Slackness(),
+		}
+		return st.finish(&d), nil
+	}
+	saved := st.saveString(k)
+	st.alloc.UnassignString(k)
+	st.scaleString(k, factor)
+	placed := heuristics.MapStringIMRMasked(st.alloc, k, st.machineOK, st.routeOK)
+	if placed && st.feasibleNow() {
+		st.da.Commit()
+		st.scale[k] *= factor
+		if st.cfg.LPBound {
+			st.solveBound()
+		}
+		d := Decision{
+			Op:          "rescale",
+			Accepted:    true,
+			StringID:    k,
+			WorthBefore: worthBefore,
+			WorthAfter:  st.worth,
+			Slackness:   st.alloc.Slackness(),
+		}
+		return st.finish(&d), nil
+	}
+	var viol []feasibility.Violation
+	reason := "no feasible placement for rescaled demand"
+	if placed {
+		viol = st.violationsNow()
+		reason = "rescaled placement violates QoS"
+	}
+	// Restore the catalog floats first so the system the rolled-back
+	// allocation describes is the pre-rescale one, then roll the allocation
+	// back bit-identically.
+	st.restoreString(k, saved)
+	st.da.Undo()
+	return st.reject("rescale", k, worthBefore, st.alloc.Slackness(), reason, viol), nil
+}
+
+// validateResources bounds-checks fault resources against the suite.
+func (st *state) validateResources(rs []faults.Resource) *ErrorEnvelope {
+	m := st.sys.Machines
+	for _, r := range rs {
+		switch r.Kind {
+		case faults.MachineResource:
+			if r.Machine < 0 || r.Machine >= m {
+				return Errorf(CodeUnknownResource, nil, "machine %d out of range [0,%d)", r.Machine, m)
+			}
+		case faults.RouteResource:
+			if r.From < 0 || r.From >= m || r.To < 0 || r.To >= m || r.From == r.To {
+				return Errorf(CodeUnknownResource, nil, "route %d->%d invalid for %d machines", r.From, r.To, m)
+			}
+		default:
+			return Errorf(CodeUnknownResource, nil, "unknown resource kind %q", r.Kind)
+		}
+	}
+	return nil
+}
+
+func (st *state) applyFaults(req FaultsRequest) (Decision, *ErrorEnvelope) {
+	if e := st.validateResources(req.Fail); e != nil {
+		return Decision{}, e
+	}
+	if e := st.validateResources(req.Repair); e != nil {
+		return Decision{}, e
+	}
+	for _, r := range req.Fail {
+		st.down.Fail(r)
+	}
+	for _, r := range req.Repair {
+		st.down.Repair(r)
+	}
+	// Survive reuses the already-attached analyzer, so the fault path does
+	// not rebase; repaired resources become placeable again but previously
+	// shed strings are only re-admitted via explicit /v1/admit calls.
+	res, err := dynamic.SurviveOpts(st.alloc, st.mapped, st.down, st.cfg.Repair)
+	if err != nil {
+		if errors.Is(err, dynamic.ErrUnknownResource) {
+			return Decision{}, Errorf(CodeUnknownResource, nil, "%v", err)
+		}
+		return Decision{}, Errorf(CodeInternal, nil, "fault repair failed: %v", err)
+	}
+	st.recount()
+	d := FromRepair("faults", res)
+	return st.finish(&d), nil
+}
+
+func (st *state) applySurge(sc *overload.Scenario) (Decision, *ErrorEnvelope) {
+	if sc == nil {
+		return Decision{}, Errorf(CodeBadRequest, nil, "surge scenario is empty")
+	}
+	if err := sc.Validate(len(st.sys.Strings)); err != nil {
+		code := CodeBadRequest
+		if errors.Is(err, scenario.ErrOutOfRange) {
+			code = CodeUnknownString
+		}
+		return Decision{}, Errorf(code, nil, "%v", err)
+	}
+	cfg := st.cfg.Overload
+	cfg.Faults = st.down.Scenario() // standing outages persist through the episode
+	ctl, err := overload.NewController(cfg)
+	if err != nil {
+		return Decision{}, Errorf(CodeInternal, nil, "overload controller: %v", err)
+	}
+	res, err := ctl.Run(st.alloc, st.mapped, sc)
+	if err != nil {
+		return Decision{}, Errorf(CodeBadRequest, nil, "%v", err)
+	}
+	// The controller works on a scaled clone; adopt its final mapping by
+	// re-placing it deterministically (string index order) on the live
+	// system. This is a control-plane rebuild, not part of the serve path.
+	finalMachines := make([][]int, len(st.sys.Strings))
+	for k := range st.sys.Strings {
+		if res.FinalMapped[k] {
+			finalMachines[k] = res.FinalAlloc.StringMachines(k)
+		}
+	}
+	st.da.Close()
+	fresh := feasibility.New(st.sys)
+	for k, machines := range finalMachines {
+		if machines != nil {
+			fresh.AssignString(k, machines)
+		}
+	}
+	st.alloc = fresh
+	st.da = feasibility.Track(fresh)
+	st.mapped = append([]bool(nil), res.FinalMapped...)
+	st.recount()
+	d := FromOverload("surge", res)
+	return st.finish(&d), nil
+}
+
+func (st *state) stateResponse() StateResponse {
+	m := st.metricNow()
+	resp := StateResponse{
+		SchemaVersion: SchemaVersion,
+		Seq:           st.seq,
+		Machines:      st.sys.Machines,
+		Strings:       len(st.sys.Strings),
+		MappedCount:   st.nMapped,
+		Worth:         m.Worth,
+		Slackness:     m.Slackness,
+		Feasible:      st.feasibleNow(),
+		Digest:        soak.AllocationDigest(st.alloc),
+		MachinesDown:  st.down.MachinesDown(),
+		RoutesDown:    st.down.RoutesDown(),
+		FullAnalysis:  st.cfg.FullAnalysis,
+	}
+	for k := range st.sys.Strings {
+		resp.TotalWorth += st.sys.Strings[k].Worth
+		ss := StringStatus{ID: k, Mapped: st.mapped[k], Worth: st.sys.Strings[k].Worth, Scale: st.scale[k]}
+		if st.mapped[k] {
+			ss.Machines = st.alloc.StringMachines(k)
+		}
+		resp.StringStates = append(resp.StringStates, ss)
+	}
+	if st.bound != nil {
+		resp.WorthBound = st.bound.Objective
+	}
+	return resp
+}
+
+// --- event ring ---
+
+// eventLog is a bounded ring of recent decisions, ordered by Seq.
+type eventLog struct {
+	buf  []Decision
+	head int // index of the oldest entry
+	n    int
+}
+
+func newEventLog(capacity int) *eventLog {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &eventLog{buf: make([]Decision, capacity)}
+}
+
+func (l *eventLog) append(d Decision) {
+	if l.n < len(l.buf) {
+		l.buf[(l.head+l.n)%len(l.buf)] = d
+		l.n++
+		return
+	}
+	l.buf[l.head] = d
+	l.head = (l.head + 1) % len(l.buf)
+}
+
+// since returns buffered decisions with Seq > after, oldest first.
+func (l *eventLog) since(after uint64) []Decision {
+	var out []Decision
+	for i := 0; i < l.n; i++ {
+		d := l.buf[(l.head+i)%len(l.buf)]
+		if d.Seq > after {
+			out = append(out, d)
+		}
+	}
+	return out
+}

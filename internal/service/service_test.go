@@ -1,0 +1,529 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/overload"
+	"repro/internal/telemetry"
+)
+
+// testSystem builds m uniform machines and m two-app pipelined strings, the
+// same shape the delta-analyzer benchmarks use: every string fits easily, so
+// admission outcomes are decided by the analysis, not by capacity accidents.
+func testSystem(m int) *model.System {
+	sys := model.NewUniformSystem(m, 100)
+	for k := 0; k < m; k++ {
+		sys.AddString(model.AppString{
+			Worth:      1 + float64(k%7),
+			Period:     100,
+			MaxLatency: 500,
+			Apps: []model.Application{
+				model.UniformApp(m, 1.0, 0.2, 10),
+				model.UniformApp(m, 1.0, 0.2, 10),
+			},
+		})
+	}
+	return sys
+}
+
+func newTestService(t testing.TB, m int, cfg Config) *Service {
+	t.Helper()
+	cfg.System = testSystem(m)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func mustAdmit(t testing.TB, svc *Service, k int) Decision {
+	t.Helper()
+	d, err := svc.Admit(k)
+	if err != nil {
+		t.Fatalf("admit %d: %v", k, err)
+	}
+	if !d.Accepted {
+		t.Fatalf("admit %d rejected: %s", k, d.Reason)
+	}
+	return d
+}
+
+func digestOf(t testing.TB, svc *Service) string {
+	t.Helper()
+	st, err := svc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Digest
+}
+
+func TestAdmitRemoveRescaleLifecycle(t *testing.T) {
+	svc := newTestService(t, 6, Config{})
+	for k := 0; k < 6; k++ {
+		d := mustAdmit(t, svc, k)
+		if d.Mapped != k+1 {
+			t.Fatalf("after admit %d: mapped = %d, want %d", k, d.Mapped, k+1)
+		}
+		if d.Seq != uint64(k+1) {
+			t.Fatalf("after admit %d: seq = %d, want %d", k, d.Seq, k+1)
+		}
+	}
+	st, err := svc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MappedCount != 6 || !st.Feasible {
+		t.Fatalf("state after full admission: mapped %d, feasible %v", st.MappedCount, st.Feasible)
+	}
+	if st.Worth != st.TotalWorth {
+		t.Fatalf("worth %v != total worth %v with everything mapped", st.Worth, st.TotalWorth)
+	}
+
+	d, err := svc.Remove(3)
+	if err != nil || !d.Accepted {
+		t.Fatalf("remove: %v %+v", err, d)
+	}
+	if d.WorthAfter >= d.WorthBefore {
+		t.Fatalf("remove did not lower worth: %v -> %v", d.WorthBefore, d.WorthAfter)
+	}
+
+	d, err = svc.Rescale(3, 1.5)
+	if err != nil || !d.Accepted {
+		t.Fatalf("rescale of unmapped string: %v %+v", err, d)
+	}
+	d = mustAdmit(t, svc, 3)
+	if d.Mapped != 6 {
+		t.Fatalf("re-admit after rescale: mapped = %d, want 6", d.Mapped)
+	}
+}
+
+// A rejected operation must leave the state bit-identical: same digest.
+func TestRejectedOpsRollBackBitIdentically(t *testing.T) {
+	svc := newTestService(t, 5, Config{})
+	for k := 0; k < 5; k++ {
+		mustAdmit(t, svc, k)
+	}
+	before := digestOf(t, svc)
+
+	// Demand 50x the machine capacity: the rescale must be rejected.
+	d, err := svc.Rescale(2, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted {
+		t.Fatal("250x rescale accepted")
+	}
+	if got := digestOf(t, svc); got != before {
+		t.Fatalf("digest changed across rejected rescale: %s -> %s", before, got)
+	}
+
+	// An admission that cannot be placed must also roll back exactly.
+	if _, err := svc.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if d, err = svc.Rescale(2, 250); err != nil || !d.Accepted {
+		t.Fatalf("rescale of unmapped string: %v %+v", err, d)
+	}
+	mid := digestOf(t, svc)
+	if d, err = svc.Admit(2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted {
+		t.Fatal("admission of 250x-scaled string accepted")
+	}
+	if d.Reason == "" {
+		t.Fatal("rejected admission carries no reason")
+	}
+	if got := digestOf(t, svc); got != mid {
+		t.Fatalf("digest changed across rejected admit: %s -> %s", mid, got)
+	}
+}
+
+func TestOperationErrors(t *testing.T) {
+	svc := newTestService(t, 4, Config{})
+	mustAdmit(t, svc, 0)
+
+	cases := []struct {
+		name string
+		call func() error
+		code string
+	}{
+		{"admit out of range", func() error { _, err := svc.Admit(99); return err }, CodeUnknownString},
+		{"admit negative", func() error { _, err := svc.Admit(-1); return err }, CodeUnknownString},
+		{"double admit", func() error { _, err := svc.Admit(0); return err }, CodeConflict},
+		{"remove unmapped", func() error { _, err := svc.Remove(2); return err }, CodeConflict},
+		{"rescale zero factor", func() error { _, err := svc.Rescale(1, 0); return err }, CodeBadRequest},
+		{"rescale NaN guard", func() error { _, err := svc.Rescale(1, -2); return err }, CodeBadRequest},
+		{"fault unknown machine", func() error {
+			_, err := svc.Faults(FaultsRequest{Fail: []faults.Resource{faults.Machine(77)}})
+			return err
+		}, CodeUnknownResource},
+		{"fault self-loop route", func() error {
+			_, err := svc.Faults(FaultsRequest{Fail: []faults.Resource{faults.Route(1, 1)}})
+			return err
+		}, CodeUnknownResource},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		env, ok := err.(*ErrorEnvelope)
+		if !ok {
+			t.Errorf("%s: error = %v, want envelope", tc.name, err)
+			continue
+		}
+		if env.Err.Code != tc.code {
+			t.Errorf("%s: code = %s, want %s", tc.name, env.Err.Code, tc.code)
+		}
+	}
+}
+
+func TestFaultsEvacuateAndMask(t *testing.T) {
+	svc := newTestService(t, 6, Config{})
+	for k := 0; k < 6; k++ {
+		mustAdmit(t, svc, k)
+	}
+	d, err := svc.Faults(FaultsRequest{Fail: []faults.Resource{faults.Machine(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Op != "faults" || !d.Accepted {
+		t.Fatalf("fault decision: %+v", d)
+	}
+	st, err := svc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MachinesDown != 1 {
+		t.Fatalf("machines down = %d, want 1", st.MachinesDown)
+	}
+	for _, ss := range st.StringStates {
+		for _, j := range ss.Machines {
+			if j == 0 {
+				t.Fatalf("string %d still uses failed machine 0", ss.ID)
+			}
+		}
+	}
+	// New admissions must respect the mask too: re-admit anything evacuated.
+	for _, ss := range st.StringStates {
+		if !ss.Mapped {
+			if d, err := svc.Admit(ss.ID); err == nil && d.Accepted {
+				st2, _ := svc.State()
+				for _, j := range st2.StringStates[ss.ID].Machines {
+					if j == 0 {
+						t.Fatalf("post-fault admission of %d used failed machine 0", ss.ID)
+					}
+				}
+			}
+		}
+	}
+	// Repair brings the machine back.
+	if _, err := svc.Faults(FaultsRequest{Repair: []faults.Resource{faults.Machine(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = svc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MachinesDown != 0 {
+		t.Fatalf("machines down after repair = %d, want 0", st.MachinesDown)
+	}
+}
+
+func TestSurgeEpisode(t *testing.T) {
+	svc := newTestService(t, 6, Config{})
+	for k := 0; k < 6; k++ {
+		mustAdmit(t, svc, k)
+	}
+	sc := &overload.Scenario{
+		Name: "test-swell",
+		Events: []overload.Event{
+			{Kind: overload.Step, At: 0, Duration: 30, Factor: 1.5},
+		},
+	}
+	d, err := svc.Surge(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Op != "surge" || !d.Accepted {
+		t.Fatalf("surge decision: %+v", d)
+	}
+	if d.WorthRetained <= 0 || d.WorthRetained > 1+1e-9 {
+		t.Fatalf("surge retained = %v, want (0,1]", d.WorthRetained)
+	}
+	st, err := svc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Feasible {
+		t.Fatal("post-surge state infeasible")
+	}
+	// Out-of-range strings in the scenario are rejected up front.
+	bad := &overload.Scenario{Events: []overload.Event{
+		{Kind: overload.Step, At: 0, Factor: 2, Strings: []int{99}},
+	}}
+	_, err = svc.Surge(bad)
+	env, ok := err.(*ErrorEnvelope)
+	if !ok || env.Err.Code != CodeUnknownString {
+		t.Fatalf("surge with unknown string: %v", err)
+	}
+}
+
+// The acceptance criterion: the serve path runs zero full re-analyses. The
+// analyzer rebases exactly once, when the service attaches it at startup;
+// admits, removes, rescales, and state reads are all incremental evaluations.
+func TestServePathNeverRebases(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	svc := newTestService(t, 8, Config{})
+
+	base := telemetry.Capture()
+	rebases0 := base.Counter("feasibility.delta.rebases")
+	evals0 := base.Counter("feasibility.delta.evals")
+
+	for k := 0; k < 8; k++ {
+		mustAdmit(t, svc, k)
+	}
+	if _, err := svc.Remove(5); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := svc.Rescale(2, 1.2); err != nil || !d.Accepted {
+		t.Fatalf("rescale: %v %+v", err, d)
+	}
+	if d, err := svc.Rescale(3, 500); err != nil || d.Accepted {
+		t.Fatalf("500x rescale should be rejected: %v %+v", err, d)
+	}
+	if _, err := svc.State(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := telemetry.Capture()
+	if got := snap.Counter("feasibility.delta.rebases"); got != rebases0 {
+		t.Errorf("serve path rebased the analyzer: %d -> %d", rebases0, got)
+	}
+	if got := snap.Counter("feasibility.delta.evals"); got <= evals0 {
+		t.Errorf("delta evals did not grow (%d -> %d); serve path is not using the delta analyzer", evals0, got)
+	}
+	if snap.Counter("feasibility.delta.commits") == 0 {
+		t.Error("no delta commits recorded")
+	}
+	if snap.Counter("feasibility.delta.undos") == 0 {
+		t.Error("no delta undos recorded (the rejected rescale must roll back via Undo)")
+	}
+}
+
+func TestSnapshotRestoreResumesBitIdentically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+
+	svc := newTestService(t, 6, Config{})
+	for k := 0; k < 5; k++ {
+		mustAdmit(t, svc, k)
+	}
+	if d, err := svc.Rescale(1, 1.25); err != nil || !d.Accepted {
+		t.Fatalf("rescale: %v %+v", err, d)
+	}
+	if _, err := svc.Faults(FaultsRequest{Fail: []faults.Resource{faults.Machine(4)}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := svc.Snapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Digest != digestOf(t, svc) {
+		t.Fatal("snapshot digest differs from live state digest")
+	}
+
+	restored, err := Restore(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	stA, err := svc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := restored.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Digest != stB.Digest {
+		t.Fatalf("restored digest %s != original %s", stB.Digest, stA.Digest)
+	}
+	if stB.Seq != stA.Seq {
+		t.Fatalf("restored seq %d != original %d", stB.Seq, stA.Seq)
+	}
+	if stB.MachinesDown != 1 {
+		t.Fatalf("restored outage set lost: machines down = %d, want 1", stB.MachinesDown)
+	}
+	if stB.StringStates[1].Scale != stA.StringStates[1].Scale {
+		t.Fatalf("restored scale %v != original %v", stB.StringStates[1].Scale, stA.StringStates[1].Scale)
+	}
+
+	// The restored daemon must behave bit-identically from here on: the same
+	// operation sequence on both sides keeps the digests equal.
+	ops := func(s *Service) {
+		t.Helper()
+		mustAdmit(t, s, 5)
+		if _, err := s.Remove(0); err != nil {
+			t.Fatal(err)
+		}
+		if d, err := s.Rescale(2, 0.8); err != nil || !d.Accepted {
+			t.Fatalf("rescale: %v %+v", err, d)
+		}
+	}
+	ops(svc)
+	ops(restored)
+	if a, b := digestOf(t, svc), digestOf(t, restored); a != b {
+		t.Fatalf("digests diverged after identical post-restore operations: %s vs %s", a, b)
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	svc := newTestService(t, 4, Config{})
+	mustAdmit(t, svc, 0)
+	if _, err := svc.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(mutate func(string) string) string {
+		p := filepath.Join(dir, "corrupt.json")
+		if err := os.WriteFile(p, []byte(mutate(string(data))), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Flip the recorded digest: restore must refuse to resume a state it
+	// cannot reproduce exactly.
+	bad := write(func(s string) string {
+		st, err := svc.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return replaceOnce(s, "\"digest\": \""+st.Digest, "\"digest\": \"0123456789abcdef")
+	})
+	if _, err := Restore(bad, Config{}); err == nil {
+		t.Fatal("restore accepted a snapshot with a mismatched digest")
+	}
+	// Unsupported schema version.
+	bad = write(func(s string) string {
+		return replaceOnce(s, fmt.Sprintf("\"schemaVersion\": %d", SchemaVersion),
+			fmt.Sprintf("\"schemaVersion\": %d", SchemaVersion+100))
+	})
+	if _, err := Restore(bad, Config{}); err == nil {
+		t.Fatal("restore accepted a future schema version")
+	}
+	// Garbage file.
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bad, Config{}); err == nil {
+		t.Fatal("restore accepted malformed JSON")
+	}
+}
+
+func replaceOnce(s, old, repl string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + repl + s[i+len(old):]
+		}
+	}
+	return s
+}
+
+// Concurrency hammer for the single-writer loop; run with -race. Writers
+// fight over admissions and removals while readers poll state, events, and
+// metrics; afterwards the state must still be consistent and feasible.
+func TestConcurrentHammer(t *testing.T) {
+	const m = 8
+	svc := newTestService(t, m, Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (w + i) % m
+				if i%2 == 0 {
+					_, _ = svc.Admit(k)
+				} else {
+					_, _ = svc.Remove(k)
+				}
+				if i%13 == 0 {
+					_, _ = svc.Rescale(k, 1.01)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, _ = svc.State()
+				_, _ = svc.Events(0)
+				_ = svc.Metrics()
+			}
+		}()
+	}
+	wg.Wait()
+	st, err := svc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Feasible {
+		t.Fatal("state infeasible after hammer")
+	}
+	mapped := 0
+	for _, ss := range st.StringStates {
+		if ss.Mapped {
+			mapped++
+		}
+	}
+	if mapped != st.MappedCount {
+		t.Fatalf("mapped count %d disagrees with string states %d", st.MappedCount, mapped)
+	}
+	// Close races against late callers in real shutdowns; exercise that too.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_, _ = svc.Admit(0)
+			}
+		}
+	}()
+	svc.Close()
+	close(done)
+	if _, err := svc.State(); err == nil {
+		t.Fatal("State succeeded after Close")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("nil system accepted")
+	}
+	cfg := Config{System: testSystem(3), EventBuffer: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative event buffer accepted")
+	}
+	cfg = Config{System: testSystem(3), Overload: overload.Config{ShedBelow: 2}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("out-of-range overload config accepted")
+	}
+}

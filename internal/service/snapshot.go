@@ -1,0 +1,161 @@
+// Daemon snapshots: the whole observable service state in one JSON file, so
+// a killed daemon restarted with -restore resumes bit-identically. The
+// allocation part rides on feasibility.AllocationSnapshot (exact IEEE-754 bit
+// patterns); the file additionally pins the system catalog (rescales mutate
+// it), the mapped set, cumulative scale factors, standing outages, the
+// sequence number, and the soak.AllocationDigest of the live allocation. On
+// restore the digest is recomputed and must match — a snapshot that cannot
+// reproduce the exact state is rejected rather than silently drifting.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/faults"
+	"repro/internal/feasibility"
+	"repro/internal/model"
+	"repro/internal/soak"
+)
+
+// SnapshotFile is the on-disk snapshot format.
+type SnapshotFile struct {
+	SchemaVersion int `json:"schemaVersion"`
+	// System is the live catalog, including any accepted rescales.
+	System *model.System `json:"system"`
+	// Alloc is the exact-bit allocation snapshot.
+	Alloc *feasibility.AllocationSnapshot `json:"alloc"`
+	// Mapped marks the admitted strings; Scale holds the cumulative rescale
+	// factor per string.
+	Mapped []bool    `json:"mapped"`
+	Scale  []float64 `json:"scale"`
+	// Down lists the standing resource outages.
+	Down []faults.Resource `json:"down,omitempty"`
+	// Seq is the decision sequence number at snapshot time.
+	Seq uint64 `json:"seq"`
+	// Digest is the soak.AllocationDigest of the allocation at snapshot
+	// time; restore verifies the restored allocation reproduces it.
+	Digest string `json:"digest"`
+}
+
+// snapshotTo writes the current state to path. Runs on the state loop.
+func (st *state) snapshotTo(path string) (SnapshotResponse, *ErrorEnvelope) {
+	if path == "" {
+		path = st.cfg.SnapshotPath
+	}
+	file := SnapshotFile{
+		SchemaVersion: SchemaVersion,
+		System:        st.sys,
+		Alloc:         st.alloc.Snapshot(),
+		Mapped:        st.mapped,
+		Scale:         st.scale,
+		Down:          st.down.Resources(),
+		Seq:           st.seq,
+		Digest:        soak.AllocationDigest(st.alloc),
+	}
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return SnapshotResponse{}, Errorf(CodeInternal, nil, "marshal snapshot: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return SnapshotResponse{}, Errorf(CodeInternal, nil, "write snapshot: %v", err)
+	}
+	return SnapshotResponse{
+		SchemaVersion: SchemaVersion,
+		Path:          path,
+		Digest:        file.Digest,
+		Seq:           st.seq,
+	}, nil
+}
+
+// Snapshot writes the daemon state to path (the configured default when
+// empty) and returns the written digest.
+func (s *Service) Snapshot(path string) (SnapshotResponse, error) {
+	var resp SnapshotResponse
+	var e *ErrorEnvelope
+	if err := s.exec(func(st *state) { resp, e = st.snapshotTo(path) }); err != nil {
+		return SnapshotResponse{}, err
+	}
+	if e != nil {
+		return SnapshotResponse{}, e
+	}
+	return resp, nil
+}
+
+// Restore builds a Service from a snapshot file. The cfg.System field is
+// ignored — the snapshot carries its own catalog — while the serving knobs
+// (overload, repair, LP bound, fallback mode) come from cfg. The restored
+// allocation must reproduce the digest recorded in the file.
+func Restore(path string, cfg Config) (*Service, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: read snapshot: %w", err)
+	}
+	var file SnapshotFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("service: parse snapshot %s: %w", path, err)
+	}
+	if file.SchemaVersion < 1 || file.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("service: snapshot %s has schema version %d, this daemon supports 1..%d",
+			path, file.SchemaVersion, SchemaVersion)
+	}
+	if file.System == nil || file.Alloc == nil {
+		return nil, fmt.Errorf("service: snapshot %s is missing the system or allocation section", path)
+	}
+	if err := file.System.Validate(); err != nil {
+		return nil, fmt.Errorf("service: snapshot %s: %w", path, err)
+	}
+	n := len(file.System.Strings)
+	if len(file.Mapped) != n || len(file.Scale) != n {
+		return nil, fmt.Errorf("service: snapshot %s: mapped/scale length %d/%d, want %d",
+			path, len(file.Mapped), len(file.Scale), n)
+	}
+	alloc, err := feasibility.FromSnapshot(file.System, file.Alloc)
+	if err != nil {
+		return nil, fmt.Errorf("service: snapshot %s: %w", path, err)
+	}
+	if got := soak.AllocationDigest(alloc); got != file.Digest {
+		return nil, fmt.Errorf("service: snapshot %s: restored digest %s does not match recorded %s",
+			path, got, file.Digest)
+	}
+	for k, m := range file.Mapped {
+		if m && !alloc.Complete(k) {
+			return nil, fmt.Errorf("service: snapshot %s: string %d marked mapped but not completely placed", path, k)
+		}
+	}
+	down := faults.NewSet(file.System.Machines)
+	m := file.System.Machines
+	for _, r := range file.Down {
+		switch r.Kind {
+		case faults.MachineResource:
+			if r.Machine < 0 || r.Machine >= m {
+				return nil, fmt.Errorf("service: snapshot %s: down machine %d out of range [0,%d)", path, r.Machine, m)
+			}
+		case faults.RouteResource:
+			if r.From < 0 || r.From >= m || r.To < 0 || r.To >= m || r.From == r.To {
+				return nil, fmt.Errorf("service: snapshot %s: down route %d->%d invalid for %d machines", path, r.From, r.To, m)
+			}
+		default:
+			return nil, fmt.Errorf("service: snapshot %s: unknown down resource kind %q", path, r.Kind)
+		}
+		down.Fail(r)
+	}
+	cfg.System = file.System
+	cfg.Heuristic = "" // the mapping comes from the snapshot
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &state{
+		cfg:    cfg,
+		sys:    file.System,
+		alloc:  alloc,
+		mapped: append([]bool(nil), file.Mapped...),
+		scale:  append([]float64(nil), file.Scale...),
+		down:   down,
+		seq:    file.Seq,
+		events: newEventLog(cfg.EventBuffer),
+	}
+	return startService(st)
+}

@@ -432,16 +432,14 @@ func printUtilization(a *feasibility.Allocation) {
 		fmt.Printf(" %.2f", a.MachineUtilization(j))
 	}
 	fmt.Println()
-	busiest, bu := -1, -1.0
+	bu := -1.0
 	var bj1, bj2 int
-	for j1 := 0; j1 < sys.Machines; j1++ {
-		for j2 := 0; j2 < sys.Machines; j2++ {
-			if j1 != j2 && a.RouteUtilization(j1, j2) > bu {
-				busiest, bu, bj1, bj2 = j1, a.RouteUtilization(j1, j2), j1, j2
-			}
+	a.ActiveRoutes(func(j1, j2 int, u float64) {
+		if u > bu {
+			bu, bj1, bj2 = u, j1, j2
 		}
-	}
-	if busiest >= 0 {
+	})
+	if bu >= 0 {
 		fmt.Printf("busiest route: %d -> %d at %.2f\n", bj1, bj2, bu)
 	}
 }

@@ -30,6 +30,16 @@ const utilEps = 1e-9
 // appRef identifies application i of string k.
 type appRef struct{ k, i int }
 
+// routeEntry is one active inter-machine route out of a machine: the peer
+// machine it leads to, the equation-(3) utilization accumulator, and the
+// roster of producing applications whose output traverses the route, in
+// insertion order (observable through the waiting-time sums of equation (6)).
+type routeEntry struct {
+	peer int
+	util float64
+	apps []appRef
+}
+
 // Allocation is a (possibly partial) application-to-machine mapping. It
 // maintains, incrementally under Assign/Unassign:
 //
@@ -44,22 +54,22 @@ type Allocation struct {
 	machineOf [][]int // [k][i] -> machine index or Unassigned
 	nAssigned []int   // per string, how many of its apps are assigned
 
-	machineUtil []float64   // U_machine[j], equation (2)
-	routeUtil   [][]float64 // U_route[j1][j2], equation (3); diagonal unused
+	machineUtil []float64 // U_machine[j], equation (2)
 
-	perMachine [][]appRef   // machine j -> applications assigned to it
-	perRoute   [][][]appRef // [j1][j2] -> producing apps whose output uses the route
+	perMachine [][]appRef // machine j -> applications assigned to it
+
+	// routes is the sparse route state: routes[j1] holds one entry per active
+	// route out of machine j1, sorted by peer machine, so a route that carries
+	// no transfer costs nothing to store, copy, scan, or snapshot. An entry
+	// exists iff its roster is non-empty, and absent routes report exactly
+	// zero utilization — removing a route's last transfer drops the entry
+	// rather than leaving a float residue. The sorted order doubles as the
+	// canonical (j1, j2)-ascending iteration order of WriteState and Snapshot.
+	// Memory and full-scan cost are O(M + active routes), replacing the dense
+	// M×M matrices that made allocations quadratic in machines.
+	routes [][]routeEntry
 
 	tightness []float64 // T[k] per equation (4); NaN until string k is complete
-
-	// Active-route bookkeeping: the (typically sparse) set of inter-machine
-	// routes whose roster is non-empty, so stage-1 scans and Slackness run in
-	// O(M + active routes) instead of O(M^2). routePos[j1][j2] indexes into
-	// usedRoutes, or is -1 when the route carries no transfer. When a route's
-	// roster empties its residual float utilization is zeroed, so inactive
-	// routes always report exactly 0.
-	usedRoutes [][2]int
-	routePos   [][]int
 
 	tracker *DeltaAnalyzer // attached change tracker, nil when untracked
 
@@ -108,6 +118,8 @@ func (t *allocTelemetry) countViolation(kind string) {
 }
 
 // New returns an empty allocation over sys. The system must be validated.
+// Construction is O(M + total applications): no per-route state exists until
+// a transfer activates a route.
 func New(sys *model.System) *Allocation {
 	m := sys.Machines
 	a := &Allocation{
@@ -115,11 +127,9 @@ func New(sys *model.System) *Allocation {
 		machineOf:   make([][]int, len(sys.Strings)),
 		nAssigned:   make([]int, len(sys.Strings)),
 		machineUtil: make([]float64, m),
-		routeUtil:   make([][]float64, m),
 		perMachine:  make([][]appRef, m),
-		perRoute:    make([][][]appRef, m),
+		routes:      make([][]routeEntry, m),
 		tightness:   make([]float64, len(sys.Strings)),
-		routePos:    make([][]int, m),
 		tel:         newAllocTelemetry(),
 	}
 	for k := range sys.Strings {
@@ -128,14 +138,6 @@ func New(sys *model.System) *Allocation {
 			a.machineOf[k][i] = Unassigned
 		}
 		a.tightness[k] = math.NaN()
-	}
-	for j := 0; j < m; j++ {
-		a.routeUtil[j] = make([]float64, m)
-		a.perRoute[j] = make([][]appRef, m)
-		a.routePos[j] = make([]int, m)
-		for j2 := 0; j2 < m; j2++ {
-			a.routePos[j][j2] = -1
-		}
 	}
 	return a
 }
@@ -168,12 +170,80 @@ func (a *Allocation) NumComplete() int {
 func (a *Allocation) MachineUtilization(j int) float64 { return a.machineUtil[j] }
 
 // RouteUtilization returns U_route[j1, j2] (equation (3)) under the current
-// assignments. Intra-machine routes always report zero.
+// assignments. Intra-machine routes and routes carrying no transfer report
+// exactly zero.
 func (a *Allocation) RouteUtilization(j1, j2 int) float64 {
-	if j1 == j2 {
-		return 0
+	if idx, ok := a.routeIndex(j1, j2); ok {
+		return a.routes[j1][idx].util
 	}
-	return a.routeUtil[j1][j2]
+	return 0
+}
+
+// routeIndex locates peer j2 in machine j1's sorted adjacency, returning its
+// position when present or the insertion point when absent. Short adjacencies
+// — the common case at paper-scale machine counts, where a machine talks to a
+// handful of peers — scan linearly, which beats binary search on its branch
+// mispredictions; long ones binary search.
+func (a *Allocation) routeIndex(j1, j2 int) (int, bool) {
+	adj := a.routes[j1]
+	if len(adj) <= 8 {
+		for idx := range adj {
+			if p := adj[idx].peer; p >= j2 {
+				return idx, p == j2
+			}
+		}
+		return len(adj), false
+	}
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid].peer < j2 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(adj) && adj[lo].peer == j2
+}
+
+// routeRoster returns the roster of route (j1, j2), or nil when inactive.
+func (a *Allocation) routeRoster(j1, j2 int) []appRef {
+	if idx, ok := a.routeIndex(j1, j2); ok {
+		return a.routes[j1][idx].apps
+	}
+	return nil
+}
+
+// insertRouteAt opens a fresh entry for peer j2 at position idx of machine
+// j1's adjacency and returns it. Growing within capacity recovers the apps
+// buffer of the retired entry sitting just past the tail (left there by
+// removeRouteAt or a Reset truncation), so the decode-Reset-decode hot path
+// of the heuristics stays allocation-free in steady state.
+func (a *Allocation) insertRouteAt(j1, idx, j2 int) *routeEntry {
+	adj := a.routes[j1]
+	var spare []appRef
+	if n := len(adj); n < cap(adj) {
+		adj = adj[: n+1 : cap(adj)]
+		spare = adj[n].apps
+	} else {
+		adj = append(adj, routeEntry{})
+	}
+	copy(adj[idx+1:], adj[idx:len(adj)-1])
+	adj[idx] = routeEntry{peer: j2, apps: spare[:0]}
+	a.routes[j1] = adj
+	return &adj[idx]
+}
+
+// removeRouteAt deletes the entry at position idx of machine j1's adjacency,
+// parking its apps buffer in the vacated tail slot for insertRouteAt to
+// recover.
+func (a *Allocation) removeRouteAt(j1, idx int) {
+	adj := a.routes[j1]
+	buf := adj[idx].apps
+	last := len(adj) - 1
+	copy(adj[idx:], adj[idx+1:])
+	adj[last] = routeEntry{apps: buf}
+	a.routes[j1] = adj[:last]
 }
 
 // Assign maps application i of string k onto machine j, updating machine and
@@ -266,74 +336,96 @@ func (a *Allocation) StringMachines(k int) []int {
 }
 
 // addRoute records that the output of application i of string k traverses the
-// route j1 -> j2. Intra-machine transfers use no modeled route.
+// route j1 -> j2. Intra-machine transfers use no modeled route. A fresh entry
+// starts its accumulator at exactly zero, so the float64 accumulation path is
+// identical to a dense cell that was zeroed when the route last emptied.
 func (a *Allocation) addRoute(j1, j2, k, i int) {
 	if j1 == j2 {
 		return
 	}
 	s := &a.sys.Strings[k]
-	a.routeUtil[j1][j2] += a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
-	a.perRoute[j1][j2] = append(a.perRoute[j1][j2], appRef{k, i})
-	if len(a.perRoute[j1][j2]) == 1 {
-		a.activateRoute(j1, j2)
+	idx, ok := a.routeIndex(j1, j2)
+	if !ok {
+		a.insertRouteAt(j1, idx, j2)
 	}
+	e := &a.routes[j1][idx]
+	e.util += a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
+	e.apps = append(e.apps, appRef{k, i})
 }
 
 func (a *Allocation) removeRoute(j1, j2, k, i int) {
 	if j1 == j2 {
 		return
 	}
+	idx, ok := a.routeIndex(j1, j2)
+	if !ok {
+		panic(fmt.Sprintf("feasibility: route %d->%d carries no transfers", j1, j2))
+	}
 	s := &a.sys.Strings[k]
-	a.routeUtil[j1][j2] -= a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
-	a.perRoute[j1][j2] = removeRef(a.perRoute[j1][j2], appRef{k, i})
-	if len(a.perRoute[j1][j2]) == 0 {
-		// Zero the float residue so an emptied route is exactly empty; the
-		// delta analyzer's Undo and the active-route scans rely on it.
-		a.routeUtil[j1][j2] = 0
-		a.deactivateRoute(j1, j2)
+	e := &a.routes[j1][idx]
+	e.util -= a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
+	e.apps = removeRef(e.apps, appRef{k, i})
+	if len(e.apps) == 0 {
+		// Dropping the entry is the sparse form of zeroing the float residue:
+		// an emptied route is exactly empty again.
+		a.removeRouteAt(j1, idx)
 	}
 }
 
-// activateRoute adds (j1, j2) to the active-route list.
-func (a *Allocation) activateRoute(j1, j2 int) {
-	a.routePos[j1][j2] = len(a.usedRoutes)
-	a.usedRoutes = append(a.usedRoutes, [2]int{j1, j2})
-}
-
-// deactivateRoute swap-removes (j1, j2) from the active-route list.
-func (a *Allocation) deactivateRoute(j1, j2 int) {
-	idx := a.routePos[j1][j2]
-	last := len(a.usedRoutes) - 1
-	moved := a.usedRoutes[last]
-	a.usedRoutes[idx] = moved
-	a.routePos[moved[0]][moved[1]] = idx
-	a.usedRoutes = a.usedRoutes[:last]
-	a.routePos[j1][j2] = -1
-}
-
-// syncRouteActive reconciles the active-route list with the roster of
-// (j1, j2) after the roster was restored wholesale (DeltaAnalyzer.Undo).
-func (a *Allocation) syncRouteActive(j1, j2 int) {
-	active := len(a.perRoute[j1][j2]) > 0
-	switch {
-	case active && a.routePos[j1][j2] < 0:
-		a.activateRoute(j1, j2)
-	case !active && a.routePos[j1][j2] >= 0:
-		a.deactivateRoute(j1, j2)
+// setRouteState restores route (j1, j2) wholesale to a snapshot state:
+// inserting, overwriting, or removing its adjacency entry as the restored
+// roster requires (DeltaAnalyzer.Undo, FromSnapshot).
+func (a *Allocation) setRouteState(j1, j2 int, util float64, roster []appRef) {
+	idx, ok := a.routeIndex(j1, j2)
+	if len(roster) == 0 {
+		if ok {
+			a.removeRouteAt(j1, idx)
+		}
+		return
 	}
+	if !ok {
+		a.insertRouteAt(j1, idx, j2)
+	}
+	e := &a.routes[j1][idx]
+	e.util = util
+	e.apps = append(e.apps[:0], roster...)
 }
 
 // ActiveRoutes calls f for every inter-machine route currently carrying at
-// least one transfer, in unspecified order, passing the route's endpoints and
-// its equation-(3) utilization. Routes with an empty roster have exactly zero
-// utilization and are skipped; iterating them could never change a
-// minimum-slack or over-threshold scan, which is what makes the O(M + active)
-// loops in Slackness and the degradation controller equivalent to the old
-// O(M^2) sweeps.
+// least one transfer, in canonical ascending (j1, j2) order, passing the
+// route's endpoints and its equation-(3) utilization. Routes with an empty
+// roster have exactly zero utilization and are skipped; iterating them could
+// never change a minimum-slack or over-threshold scan, which is what makes
+// the O(M + active) loops in Slackness and the degradation controller
+// equivalent to dense O(M^2) sweeps.
 func (a *Allocation) ActiveRoutes(f func(j1, j2 int, util float64)) {
-	for _, r := range a.usedRoutes {
-		f(r[0], r[1], a.routeUtil[r[0]][r[1]])
+	for j1 := range a.routes {
+		for idx := range a.routes[j1] {
+			e := &a.routes[j1][idx]
+			f(j1, e.peer, e.util)
+		}
 	}
+}
+
+// ActiveRoutesFrom calls f for every active route out of machine j1, in
+// ascending peer order — the per-source slice of ActiveRoutes, for consumers
+// that group route scans by origin.
+func (a *Allocation) ActiveRoutesFrom(j1 int, f func(j2 int, util float64)) {
+	for idx := range a.routes[j1] {
+		e := &a.routes[j1][idx]
+		f(e.peer, e.util)
+	}
+}
+
+// ActiveRouteCount returns the number of inter-machine routes currently
+// carrying at least one transfer — the "active" in the O(M + active) cost
+// bounds, and the size driver of Clone and Snapshot.
+func (a *Allocation) ActiveRouteCount() int {
+	n := 0
+	for j := range a.routes {
+		n += len(a.routes[j])
+	}
+	return n
 }
 
 func removeRef(refs []appRef, r appRef) []appRef {
@@ -363,13 +455,14 @@ func (a *Allocation) RouteUtilizationIf(j1, j2, k, i int) float64 {
 		return 0
 	}
 	s := &a.sys.Strings[k]
-	return a.routeUtil[j1][j2] + a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
+	return a.RouteUtilization(j1, j2) + a.sys.RouteDemandUtil(s.Apps[i].OutputKB, s.Period, j1, j2)
 }
 
 // Reset clears every assignment in place, returning the allocation to the
-// state New produces without reallocating the O(M^2) route matrices and
-// rosters. Heuristics that decode thousands of permutations keep one scratch
-// allocation per worker and Reset it between decodes instead of rebuilding.
+// state New produces while keeping the adjacency and roster backing arrays
+// for reuse. Heuristics that decode thousands of permutations keep one
+// scratch allocation per worker and Reset it between decodes instead of
+// rebuilding. Cost: O(K + M + active).
 func (a *Allocation) Reset() {
 	for k := range a.machineOf {
 		mo := a.machineOf[k]
@@ -383,47 +476,48 @@ func (a *Allocation) Reset() {
 		a.machineUtil[j] = 0
 		a.perMachine[j] = a.perMachine[j][:0]
 	}
-	// Only active routes can hold non-zero state; clearing just those keeps
-	// Reset O(M + active) on sparse mappings.
-	for _, r := range a.usedRoutes {
-		a.routeUtil[r[0]][r[1]] = 0
-		a.perRoute[r[0]][r[1]] = a.perRoute[r[0]][r[1]][:0]
-		a.routePos[r[0]][r[1]] = -1
+	// Truncating an adjacency retires its entries in place; their apps
+	// buffers stay in the backing array for insertRouteAt to recover.
+	for j := range a.routes {
+		a.routes[j] = a.routes[j][:0]
 	}
-	a.usedRoutes = a.usedRoutes[:0]
 	if a.tracker != nil {
 		a.tracker.rebaseEmpty()
 	}
 }
 
 // Clone returns an independent deep copy of the allocation sharing the same
-// (immutable) system. A DeltaAnalyzer attached to the receiver is not carried
-// over; the clone starts untracked.
+// (immutable) system. Cost is O(K + M + active routes): machines with no
+// assigned applications and routes with no transfers contribute no backing
+// allocations. A DeltaAnalyzer attached to the receiver is not carried over;
+// the clone starts untracked.
 func (a *Allocation) Clone() *Allocation {
 	cp := &Allocation{
 		sys:         a.sys,
 		machineOf:   make([][]int, len(a.machineOf)),
 		nAssigned:   append([]int(nil), a.nAssigned...),
 		machineUtil: append([]float64(nil), a.machineUtil...),
-		routeUtil:   make([][]float64, len(a.routeUtil)),
 		perMachine:  make([][]appRef, len(a.perMachine)),
-		perRoute:    make([][][]appRef, len(a.perRoute)),
+		routes:      make([][]routeEntry, len(a.routes)),
 		tightness:   append([]float64(nil), a.tightness...),
-		usedRoutes:  append([][2]int(nil), a.usedRoutes...),
-		routePos:    make([][]int, len(a.routePos)),
 		tel:         a.tel,
 	}
 	for k := range a.machineOf {
 		cp.machineOf[k] = append([]int(nil), a.machineOf[k]...)
 	}
-	for j := range a.routeUtil {
-		cp.routeUtil[j] = append([]float64(nil), a.routeUtil[j]...)
+	for j := range a.perMachine {
 		cp.perMachine[j] = append([]appRef(nil), a.perMachine[j]...)
-		cp.perRoute[j] = make([][]appRef, len(a.perRoute[j]))
-		for j2 := range a.perRoute[j] {
-			cp.perRoute[j][j2] = append([]appRef(nil), a.perRoute[j][j2]...)
+	}
+	for j, adj := range a.routes {
+		if len(adj) == 0 {
+			continue
 		}
-		cp.routePos[j] = append([]int(nil), a.routePos[j]...)
+		cadj := make([]routeEntry, len(adj))
+		copy(cadj, adj)
+		for idx := range cadj {
+			cadj[idx].apps = append([]appRef(nil), cadj[idx].apps...)
+		}
+		cp.routes[j] = cadj
 	}
 	return cp
 }
@@ -433,9 +527,10 @@ func (a *Allocation) Clone() *Allocation {
 // patterns), roster contents in roster order, and cached tightness values.
 // Roster order is included because the waiting-time sums of equations (5) and
 // (6) accumulate in roster order, making it observable through float64
-// rounding. The internal active-route list order is excluded: minimum and
-// threshold scans over it are order-insensitive. Two allocations with equal
-// fingerprints are behaviorally identical.
+// rounding. Routes appear in ascending (j1, j2) order — the adjacency's
+// storage order — matching the canonical order the dense representation
+// produced, so fingerprints span the representation change. Two allocations
+// with equal fingerprints are behaviorally identical.
 func (a *Allocation) WriteState(w io.Writer) error {
 	for k := range a.machineOf {
 		if _, err := fmt.Fprintf(w, "s%d n%d t%016x %v\n",
@@ -449,13 +544,11 @@ func (a *Allocation) WriteState(w io.Writer) error {
 			return err
 		}
 	}
-	for j1 := range a.routeUtil {
-		for j2 := range a.routeUtil[j1] {
-			if j1 == j2 || len(a.perRoute[j1][j2]) == 0 && a.routeUtil[j1][j2] == 0 {
-				continue
-			}
+	for j1 := range a.routes {
+		for idx := range a.routes[j1] {
+			e := &a.routes[j1][idx]
 			if _, err := fmt.Fprintf(w, "r%d,%d u%016x %v\n",
-				j1, j2, math.Float64bits(a.routeUtil[j1][j2]), a.perRoute[j1][j2]); err != nil {
+				j1, e.peer, math.Float64bits(e.util), e.apps); err != nil {
 				return err
 			}
 		}

@@ -86,7 +86,7 @@ func (a *Allocation) EstimatedTranTime(k, i int) float64 {
 	}
 	t := a.sys.RouteTransferSeconds(s.Apps[i].OutputKB, j1, j2)
 	wait := 0.0
-	for _, ref := range a.perRoute[j1][j2] {
+	for _, ref := range a.routeRoster(j1, j2) {
 		if ref.k == k || !a.Complete(ref.k) || !a.tighter(ref.k, k) {
 			continue
 		}
@@ -179,17 +179,19 @@ func (a *Allocation) checkString(k int) *Violation {
 
 // Stage1Feasible runs the first-stage analysis of Section 3: every machine
 // and every communication route must have overall utilization no larger than
-// one. Routes with no transfers have exactly zero utilization, so only the
-// active-route list needs scanning: O(M + active) instead of O(M^2).
+// one. Routes with no transfers have exactly zero utilization and no
+// adjacency entry, so the scan is O(M + active) instead of O(M^2).
 func (a *Allocation) Stage1Feasible() bool {
 	for j := 0; j < a.sys.Machines; j++ {
 		if a.machineUtil[j] > 1+utilEps {
 			return false
 		}
 	}
-	for _, r := range a.usedRoutes {
-		if a.routeUtil[r[0]][r[1]] > 1+utilEps {
-			return false
+	for j1 := range a.routes {
+		for idx := range a.routes[j1] {
+			if a.routes[j1][idx].util > 1+utilEps {
+				return false
+			}
 		}
 	}
 	return true
@@ -257,7 +259,7 @@ func (a *Allocation) FeasibleAfterAdding(k int) bool {
 		}
 		if i < n-1 {
 			j1, j2 := m, a.machineOf[k][i+1]
-			if j1 != j2 && a.routeUtil[j1][j2] > 1+utilEps {
+			if j1 != j2 && a.RouteUtilization(j1, j2) > 1+utilEps {
 				a.tel.stage1Fail.Inc()
 				return false
 			}
@@ -279,7 +281,7 @@ func (a *Allocation) FeasibleAfterAdding(k int) bool {
 		if i < n-1 {
 			j1, j2 := m, a.machineOf[k][i+1]
 			if j1 != j2 {
-				for _, ref := range a.perRoute[j1][j2] {
+				for _, ref := range a.routeRoster(j1, j2) {
 					if ref.k != k {
 						affected[ref.k] = true
 					}
@@ -305,7 +307,7 @@ func (a *Allocation) FeasibleAfterAdding(k int) bool {
 // It quantifies the system's potential to absorb unpredictable increases in
 // input workload. An empty system has slackness 1.
 // Routes with no transfers contribute slack exactly 1, which can never lower
-// the minimum, so only the active-route list is scanned: O(M + active).
+// the minimum, so only the sparse adjacency is scanned: O(M + active).
 func (a *Allocation) Slackness() float64 {
 	min := 1.0
 	for j := 0; j < a.sys.Machines; j++ {
@@ -313,9 +315,11 @@ func (a *Allocation) Slackness() float64 {
 			min = s
 		}
 	}
-	for _, r := range a.usedRoutes {
-		if s := 1 - a.routeUtil[r[0]][r[1]]; s < min {
-			min = s
+	for j1 := range a.routes {
+		for idx := range a.routes[j1] {
+			if s := 1 - a.routes[j1][idx].util; s < min {
+				min = s
+			}
 		}
 	}
 	return min
@@ -396,15 +400,20 @@ func (a *Allocation) checkInvariants() error {
 		if len(fresh.perMachine[j]) != len(a.perMachine[j]) {
 			return fmt.Errorf("machine %d roster drifted: incremental %d, fresh %d", j, len(a.perMachine[j]), len(fresh.perMachine[j]))
 		}
-		for j2 := 0; j2 < a.sys.Machines; j2++ {
-			if j == j2 {
-				continue
+		// Route state must agree in both directions: every incremental entry
+		// matches the fresh rebuild, and the rebuild activates no route the
+		// incremental adjacency is missing.
+		for _, e := range a.routes[j] {
+			if math.Abs(fresh.RouteUtilization(j, e.peer)-e.util) > 1e-6 {
+				return fmt.Errorf("route (%d,%d) utilization drifted: incremental %v, fresh %v", j, e.peer, e.util, fresh.RouteUtilization(j, e.peer))
 			}
-			if math.Abs(fresh.routeUtil[j][j2]-a.routeUtil[j][j2]) > 1e-6 {
-				return fmt.Errorf("route (%d,%d) utilization drifted: incremental %v, fresh %v", j, j2, a.routeUtil[j][j2], fresh.routeUtil[j][j2])
+			if len(fresh.routeRoster(j, e.peer)) != len(e.apps) {
+				return fmt.Errorf("route (%d,%d) roster drifted", j, e.peer)
 			}
-			if len(fresh.perRoute[j][j2]) != len(a.perRoute[j][j2]) {
-				return fmt.Errorf("route (%d,%d) roster drifted", j, j2)
+		}
+		for _, e := range fresh.routes[j] {
+			if _, ok := a.routeIndex(j, e.peer); !ok {
+				return fmt.Errorf("route (%d,%d) carries %d transfers but is missing from the incremental adjacency", j, e.peer, len(e.apps))
 			}
 		}
 	}
@@ -428,28 +437,23 @@ func (a *Allocation) checkInvariants() error {
 			return fmt.Errorf("string %d is incomplete but caches tightness %v (want NaN)", k, a.tightness[k])
 		}
 	}
-	// Active-route list consistency: routePos and usedRoutes must mirror each
-	// other, active routes must have non-empty rosters, and inactive routes
-	// must hold exactly zero utilization (emptying a route zeroes the float
-	// residue).
-	for idx, r := range a.usedRoutes {
-		if a.routePos[r[0]][r[1]] != idx {
-			return fmt.Errorf("route (%d,%d) position drifted: usedRoutes[%d] but routePos %d", r[0], r[1], idx, a.routePos[r[0]][r[1]])
-		}
-		if len(a.perRoute[r[0]][r[1]]) == 0 {
-			return fmt.Errorf("route (%d,%d) is active with an empty roster", r[0], r[1])
-		}
-	}
-	for j1 := 0; j1 < a.sys.Machines; j1++ {
-		for j2 := 0; j2 < a.sys.Machines; j2++ {
-			if j1 == j2 || a.routePos[j1][j2] >= 0 {
-				continue
+	// Adjacency structural invariants: each machine's entries are strictly
+	// ascending by peer (binary search and canonical iteration depend on it),
+	// peers are valid and never self-loops, and every entry carries at least
+	// one transfer — an emptied route must drop its entry, which is how
+	// absent routes report exactly zero utilization.
+	for j1 := range a.routes {
+		prev := -1
+		for _, e := range a.routes[j1] {
+			if e.peer <= prev {
+				return fmt.Errorf("machine %d adjacency out of order: peer %d after %d", j1, e.peer, prev)
 			}
-			if len(a.perRoute[j1][j2]) > 0 {
-				return fmt.Errorf("route (%d,%d) has %d transfers but is not in the active list", j1, j2, len(a.perRoute[j1][j2]))
+			prev = e.peer
+			if e.peer == j1 || e.peer < 0 || e.peer >= a.sys.Machines {
+				return fmt.Errorf("machine %d adjacency holds invalid peer %d", j1, e.peer)
 			}
-			if a.routeUtil[j1][j2] != 0 {
-				return fmt.Errorf("inactive route (%d,%d) holds residual utilization %v", j1, j2, a.routeUtil[j1][j2])
+			if len(e.apps) == 0 {
+				return fmt.Errorf("route (%d,%d) is active with an empty roster", j1, e.peer)
 			}
 		}
 	}

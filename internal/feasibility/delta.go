@@ -171,9 +171,11 @@ func (da *DeltaAnalyzer) Rebase() {
 			da.overM[j] = true
 		}
 	}
-	for _, r := range a.usedRoutes {
-		if a.routeUtil[r[0]][r[1]] > 1+utilEps {
-			da.overR[r] = true
+	for j1 := range a.routes {
+		for _, e := range a.routes[j1] {
+			if e.util > 1+utilEps {
+				da.overR[[2]int{j1, e.peer}] = true
+			}
 		}
 	}
 }
@@ -250,9 +252,17 @@ func (da *DeltaAnalyzer) snapRoute(j1, j2 int) {
 	if _, ok := da.routeSnaps[key]; ok {
 		return
 	}
+	// The route may be inactive (no adjacency entry): snapshot it as exactly
+	// empty so Undo knows to drop any entry the window creates.
+	util := 0.0
+	var roster []appRef
+	if idx, ok := da.a.routeIndex(j1, j2); ok {
+		e := &da.a.routes[j1][idx]
+		util, roster = e.util, e.apps
+	}
 	da.routeSnaps[key] = resourceSnap{
-		util:   da.a.routeUtil[j1][j2],
-		roster: append(da.getRefs(), da.a.perRoute[j1][j2]...),
+		util:   util,
+		roster: append(da.getRefs(), roster...),
 	}
 }
 
@@ -358,7 +368,7 @@ func (da *DeltaAnalyzer) buildRecheck() {
 		}
 	}
 	for r := range da.visitR {
-		for _, ref := range a.perRoute[r[0]][r[1]] {
+		for _, ref := range a.routeRoster(r[0], r[1]) {
 			if a.Complete(ref.k) && a.tightness[ref.k] <= threshold {
 				da.recheck[ref.k] = true
 			}
@@ -386,7 +396,7 @@ func (da *DeltaAnalyzer) stage1AfterDelta() bool {
 		}
 	}
 	for r := range da.routeSnaps {
-		if a.routeUtil[r[0]][r[1]] > 1+utilEps {
+		if a.RouteUtilization(r[0], r[1]) > 1+utilEps {
 			return false
 		}
 	}
@@ -483,7 +493,7 @@ func (da *DeltaAnalyzer) Commit() {
 		}
 	}
 	for r := range da.routeSnaps {
-		if a.routeUtil[r[0]][r[1]] > 1+utilEps {
+		if a.RouteUtilization(r[0], r[1]) > 1+utilEps {
 			da.overR[r] = true
 		} else {
 			delete(da.overR, r)
@@ -519,9 +529,7 @@ func (da *DeltaAnalyzer) Undo() {
 		a.perMachine[j] = append(a.perMachine[j][:0], snap.roster...)
 	}
 	for r, snap := range da.routeSnaps {
-		a.routeUtil[r[0]][r[1]] = snap.util
-		a.perRoute[r[0]][r[1]] = append(a.perRoute[r[0]][r[1]][:0], snap.roster...)
-		a.syncRouteActive(r[0], r[1])
+		a.setRouteState(r[0], r[1], snap.util, snap.roster)
 	}
 	da.clearWindow()
 }
@@ -555,7 +563,7 @@ func (da *DeltaAnalyzer) OverloadedRoutes() [][2]int {
 		}
 	}
 	for r := range da.routeSnaps {
-		if da.a.routeUtil[r[0]][r[1]] > 1+utilEps {
+		if da.a.RouteUtilization(r[0], r[1]) > 1+utilEps {
 			out = append(out, r)
 		}
 	}

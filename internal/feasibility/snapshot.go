@@ -8,6 +8,14 @@
 // observable through the waiting-time sums of equations (5) and (6).
 // FromSnapshot restores an allocation whose WriteState fingerprint is
 // byte-identical to the original's.
+//
+// The format is versioned. Version 1 (files with no version field) lists
+// every machine densely and positionally; version 2 lists machines sparsely —
+// only machines carrying state, each tagged with its index — so a fleet-scale
+// snapshot is O(loaded) rather than O(M). Both versions restore to identical
+// allocations; the digest-relevant content (assignments, bit patterns, roster
+// order) is the same either way. Unknown future versions are rejected with a
+// typed SnapshotVersionError before any content is interpreted.
 
 package feasibility
 
@@ -18,6 +26,24 @@ import (
 
 	"repro/internal/model"
 )
+
+// SnapshotVersion is the format version Snapshot writes. FromSnapshot reads
+// every version up to and including it.
+const SnapshotVersion = 2
+
+// SnapshotVersionError reports a snapshot written in a format this build does
+// not understand — typically a newer daemon's file fed to an older binary.
+// Callers match it with errors.As to distinguish "wrong version" from a
+// corrupt or inconsistent snapshot.
+type SnapshotVersionError struct {
+	Version   int // version recorded in the snapshot
+	Supported int // newest version this build reads
+}
+
+func (e *SnapshotVersionError) Error() string {
+	return fmt.Sprintf("feasibility: snapshot version %d, this build reads versions up to %d",
+		e.Version, e.Supported)
+}
 
 // StringState is the per-string part of an AllocationSnapshot.
 type StringState struct {
@@ -30,6 +56,10 @@ type StringState struct {
 
 // MachineState is the per-machine part of an AllocationSnapshot.
 type MachineState struct {
+	// Machine is the machine index. Version ≥ 2 snapshots list machines
+	// sparsely and rely on it; version-1 snapshots list machines densely in
+	// index order and omit it.
+	Machine int `json:"machine,omitempty"`
 	// Util is the hex-encoded bit pattern of U_machine[j] (equation (2)).
 	Util string `json:"util"`
 	// Roster lists the assigned applications as (string, app) pairs in roster
@@ -54,6 +84,9 @@ type RouteState struct {
 // system; FromSnapshot revalidates the snapshot against the system it is
 // restored onto.
 type AllocationSnapshot struct {
+	// Version is the format version (see SnapshotVersion). Absent in files
+	// written before the format was versioned, which decode as version 1.
+	Version  int            `json:"version,omitempty"`
 	Strings  []StringState  `json:"strings"`
 	Machines []MachineState `json:"machines"`
 	Routes   []RouteState   `json:"routes,omitempty"`
@@ -84,13 +117,14 @@ func rosterPairs(refs []appRef) [][2]int {
 	return out
 }
 
-// Snapshot captures the allocation's observable state exactly. The attached
-// DeltaAnalyzer (if any) is not part of the snapshot; callers should Commit
-// any pending window first so the snapshot is of a settled state.
+// Snapshot captures the allocation's observable state exactly, in the current
+// (sparse, version-2) format. The attached DeltaAnalyzer (if any) is not part
+// of the snapshot; callers should Commit any pending window first so the
+// snapshot is of a settled state.
 func (a *Allocation) Snapshot() *AllocationSnapshot {
 	snap := &AllocationSnapshot{
-		Strings:  make([]StringState, len(a.machineOf)),
-		Machines: make([]MachineState, len(a.machineUtil)),
+		Version: SnapshotVersion,
+		Strings: make([]StringState, len(a.machineOf)),
 	}
 	for k := range a.machineOf {
 		snap.Strings[k] = StringState{
@@ -98,24 +132,31 @@ func (a *Allocation) Snapshot() *AllocationSnapshot {
 			Tightness: encBits(a.tightness[k]),
 		}
 	}
+	// Machines sparsely, ascending: a machine omitted here restores to an
+	// empty roster and an accumulator of exactly +0. The accumulator is not
+	// residue-zeroed when a machine empties, so the bit pattern — not ==0,
+	// which would also match -0 — decides whether a machine can be omitted.
 	for j := range a.machineUtil {
-		snap.Machines[j] = MachineState{
-			Util:   encBits(a.machineUtil[j]),
-			Roster: rosterPairs(a.perMachine[j]),
+		if math.Float64bits(a.machineUtil[j]) == 0 && len(a.perMachine[j]) == 0 {
+			continue
 		}
+		snap.Machines = append(snap.Machines, MachineState{
+			Machine: j,
+			Util:    encBits(a.machineUtil[j]),
+			Roster:  rosterPairs(a.perMachine[j]),
+		})
 	}
-	// Active routes in a canonical (from, to) order so equal states produce
-	// equal snapshot files regardless of activation history.
-	for j1 := range a.routeUtil {
-		for j2 := range a.routeUtil[j1] {
-			if j1 == j2 || len(a.perRoute[j1][j2]) == 0 {
-				continue
-			}
+	// The adjacency stores active routes in canonical (from, to) order
+	// already, so equal states produce equal snapshot files regardless of
+	// activation history.
+	for j1 := range a.routes {
+		for idx := range a.routes[j1] {
+			e := &a.routes[j1][idx]
 			snap.Routes = append(snap.Routes, RouteState{
 				From:   j1,
-				To:     j2,
-				Util:   encBits(a.routeUtil[j1][j2]),
-				Roster: rosterPairs(a.perRoute[j1][j2]),
+				To:     e.peer,
+				Util:   encBits(e.util),
+				Roster: rosterPairs(e.apps),
 			})
 		}
 	}
@@ -123,18 +164,17 @@ func (a *Allocation) Snapshot() *AllocationSnapshot {
 }
 
 // FromSnapshot restores an allocation over sys from a snapshot previously
-// produced by Snapshot, reproducing the original's WriteState fingerprint
-// byte for byte. The snapshot is validated against the system: shape
-// mismatches, out-of-range references, and rosters inconsistent with the
-// assignment vectors are rejected rather than restored.
+// produced by Snapshot (any version up to SnapshotVersion), reproducing the
+// original's WriteState fingerprint byte for byte. The snapshot is validated
+// against the system: shape mismatches, out-of-range references, and rosters
+// inconsistent with the assignment vectors are rejected rather than restored.
 func FromSnapshot(sys *model.System, snap *AllocationSnapshot) (*Allocation, error) {
+	if snap.Version < 0 || snap.Version > SnapshotVersion {
+		return nil, &SnapshotVersionError{Version: snap.Version, Supported: SnapshotVersion}
+	}
 	if len(snap.Strings) != len(sys.Strings) {
 		return nil, fmt.Errorf("feasibility: snapshot has %d strings, system has %d",
 			len(snap.Strings), len(sys.Strings))
-	}
-	if len(snap.Machines) != sys.Machines {
-		return nil, fmt.Errorf("feasibility: snapshot has %d machines, system has %d",
-			len(snap.Machines), sys.Machines)
 	}
 	a := New(sys)
 	totalAssigned := 0
@@ -165,28 +205,56 @@ func FromSnapshot(sys *model.System, snap *AllocationSnapshot) (*Allocation, err
 	}
 	rostered := 0
 	seen := make(map[appRef]bool, totalAssigned)
-	for j, ms := range snap.Machines {
+	loadMachine := func(j int, ms *MachineState) error {
 		u, err := decBits(ms.Util)
 		if err != nil {
-			return nil, fmt.Errorf("feasibility: snapshot machine %d util: %w", j, err)
+			return fmt.Errorf("feasibility: snapshot machine %d util: %w", j, err)
 		}
 		a.machineUtil[j] = u
 		for _, ref := range ms.Roster {
 			k, i := ref[0], ref[1]
 			if k < 0 || k >= len(sys.Strings) || i < 0 || i >= len(sys.Strings[k].Apps) {
-				return nil, fmt.Errorf("feasibility: snapshot machine %d roster names unknown application (%d,%d)", j, k, i)
+				return fmt.Errorf("feasibility: snapshot machine %d roster names unknown application (%d,%d)", j, k, i)
 			}
 			if a.machineOf[k][i] != j {
-				return nil, fmt.Errorf("feasibility: snapshot machine %d roster lists application (%d,%d), assigned to machine %d",
+				return fmt.Errorf("feasibility: snapshot machine %d roster lists application (%d,%d), assigned to machine %d",
 					j, k, i, a.machineOf[k][i])
 			}
 			if seen[appRef{k, i}] {
-				return nil, fmt.Errorf("feasibility: snapshot machine rosters list application (%d,%d) twice", k, i)
+				return fmt.Errorf("feasibility: snapshot machine rosters list application (%d,%d) twice", k, i)
 			}
 			seen[appRef{k, i}] = true
 			a.perMachine[j] = append(a.perMachine[j], appRef{k, i})
 		}
 		rostered += len(ms.Roster)
+		return nil
+	}
+	if snap.Version >= 2 {
+		// Sparse machine entries: strictly ascending indices, each in range;
+		// machines not listed keep the fresh allocation's exact zero.
+		prev := -1
+		for idx := range snap.Machines {
+			ms := &snap.Machines[idx]
+			if ms.Machine <= prev || ms.Machine >= sys.Machines {
+				return nil, fmt.Errorf("feasibility: snapshot machine entry %d (machine %d) out of order or out of range [0,%d)",
+					idx, ms.Machine, sys.Machines)
+			}
+			prev = ms.Machine
+			if err := loadMachine(ms.Machine, ms); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Version 1: one entry per machine, positional.
+		if len(snap.Machines) != sys.Machines {
+			return nil, fmt.Errorf("feasibility: snapshot has %d machines, system has %d",
+				len(snap.Machines), sys.Machines)
+		}
+		for j := range snap.Machines {
+			if err := loadMachine(j, &snap.Machines[j]); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if rostered != totalAssigned {
 		return nil, fmt.Errorf("feasibility: snapshot rosters hold %d applications, assignment vectors hold %d",
@@ -211,13 +279,15 @@ func FromSnapshot(sys *model.System, snap *AllocationSnapshot) (*Allocation, err
 		if len(rs.Roster) == 0 {
 			return nil, fmt.Errorf("feasibility: snapshot route %d->%d has an empty roster", rs.From, rs.To)
 		}
-		if a.routePos[rs.From][rs.To] >= 0 {
+		idx, ok := a.routeIndex(rs.From, rs.To)
+		if ok {
 			return nil, fmt.Errorf("feasibility: snapshot lists route %d->%d twice", rs.From, rs.To)
 		}
 		u, err := decBits(rs.Util)
 		if err != nil {
 			return nil, fmt.Errorf("feasibility: snapshot route %d->%d util: %w", rs.From, rs.To, err)
 		}
+		e := a.insertRouteAt(rs.From, idx, rs.To)
 		for _, ref := range rs.Roster {
 			k, i := ref[0], ref[1]
 			if k < 0 || k >= len(sys.Strings) || i < 0 || i+1 >= len(sys.Strings[k].Apps) {
@@ -231,10 +301,9 @@ func FromSnapshot(sys *model.System, snap *AllocationSnapshot) (*Allocation, err
 				return nil, fmt.Errorf("feasibility: snapshot route rosters list producer (%d,%d) twice", k, i)
 			}
 			seenRoute[appRef{k, i}] = true
-			a.perRoute[rs.From][rs.To] = append(a.perRoute[rs.From][rs.To], appRef{k, i})
+			e.apps = append(e.apps, appRef{k, i})
 		}
-		a.routeUtil[rs.From][rs.To] = u
-		a.activateRoute(rs.From, rs.To)
+		e.util = u
 		routed += len(rs.Roster)
 	}
 	if routed != wantRouted {

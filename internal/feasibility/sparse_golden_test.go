@@ -1,0 +1,231 @@
+// Golden equivalence suite for the sparse route-state refactor: the dense
+// M×M representation (routeUtil/perRoute/routePos matrices) was replayed over
+// keyed op sequences before the refactor and its observable output captured
+// as digests below. The sparse per-machine adjacency must reproduce every one
+// of them bitwise — violations, metric, tightness caches, Stage1Feasible, and
+// the full soak.AllocationDigest state fingerprint after every round. The
+// test lives in the external test package so it sees exactly the exported
+// surface consumers see.
+package feasibility_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/feasibility"
+	"repro/internal/rng"
+	"repro/internal/soak"
+	"repro/internal/workload"
+)
+
+// sparseGoldenRounds is the number of op rounds each case replays; each round
+// applies 1–3 assign/remove/rescale operations and digests the state.
+const sparseGoldenRounds = 40
+
+type sparseGoldenCase struct {
+	name   string
+	cfg    workload.Config
+	seed   int64
+	golden string // digest captured from the dense implementation
+}
+
+func scenarioCfg(s workload.Scenario, strings int) workload.Config {
+	cfg := workload.ScenarioConfig(s)
+	cfg.Strings = strings
+	return cfg
+}
+
+var sparseGoldenCases = []sparseGoldenCase{
+	{
+		name:   "scenario1-m12",
+		cfg:    scenarioCfg(workload.HighlyLoaded, 20),
+		seed:   11,
+		golden: "32532cae7ca741446769ec46e97373be",
+	},
+	{
+		name:   "scenario2-m12",
+		cfg:    scenarioCfg(workload.QoSLimited, 30),
+		seed:   22,
+		golden: "b9e38dd1e344182a228eb32c3a741d46",
+	},
+	{
+		name:   "fleet-m64",
+		cfg:    workload.FleetConfig(64, 2),
+		seed:   33,
+		golden: "3cffe04670d15d1720e92199e0c36961",
+	},
+}
+
+// replaySparseOps drives one keyed op sequence over a fresh allocation,
+// folding every observable quantity into the returned digest. checkClone
+// additionally asserts, on a sample of rounds, that Clone reproduces the
+// exact state fingerprint.
+func replaySparseOps(t *testing.T, cfg workload.Config, seed int64, rounds int) string {
+	t.Helper()
+	sys := workload.MustGenerate(cfg, seed)
+	a := feasibility.New(sys)
+	r := rng.NewRand(seed, rng.SubsystemSparse, 0)
+	h := sha256.New()
+	for round := 0; round < rounds; round++ {
+		applySparseOps(r, a)
+		digestObservable(h, a, round)
+		if round%8 == 0 {
+			want := soak.AllocationDigest(a)
+			if got := soak.AllocationDigest(a.Clone()); got != want {
+				t.Fatalf("round %d: Clone digest %s, original %s", round, got, want)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// applySparseOps applies 1–3 random operations: (re)assign a string to fresh
+// machines (sometimes only a prefix, so incomplete strings stay exercised),
+// remove a string, or rescale a string's QoS constraints and remap it onto
+// the same machines — the service rescale semantics: demands must leave the
+// utilization accumulators before the string's period changes.
+func applySparseOps(r *rand.Rand, a *feasibility.Allocation) {
+	sys := a.System()
+	n := len(sys.Strings)
+	for op, nOps := 0, 1+r.Intn(3); op < nOps; op++ {
+		k := r.Intn(n)
+		apps := len(sys.Strings[k].Apps)
+		switch r.Intn(3) {
+		case 0: // (re)assign
+			a.UnassignString(k)
+			limit := apps
+			if r.Intn(4) == 0 {
+				limit = 1 + r.Intn(apps)
+			}
+			for i := 0; i < limit; i++ {
+				a.Assign(k, i, r.Intn(sys.Machines))
+			}
+		case 1: // remove
+			a.UnassignString(k)
+		case 2: // rescale and remap in place
+			machines := a.StringMachines(k)
+			f := 0.8 + 0.6*r.Float64()
+			a.UnassignString(k)
+			sys.Strings[k].Period *= f
+			sys.Strings[k].MaxLatency *= f
+			for i, j := range machines {
+				if j != feasibility.Unassigned {
+					a.Assign(k, i, j)
+				}
+			}
+		}
+	}
+}
+
+// digestObservable folds the allocation's analysis-facing output into h:
+// every equation-(1) violation, the two-component metric, stage-1
+// feasibility, each complete string's cached tightness, and the canonical
+// state fingerprint.
+func digestObservable(h hash.Hash, a *feasibility.Allocation, round int) {
+	fmt.Fprintf(h, "round%d|", round)
+	for _, v := range a.Violations() {
+		fmt.Fprintf(h, "v%d,%s,%d,%016x,%016x|",
+			v.StringID, v.Kind, v.App, math.Float64bits(v.Value), math.Float64bits(v.Bound))
+	}
+	m := a.Metric()
+	fmt.Fprintf(h, "m%016x,%016x|s1=%v|", math.Float64bits(m.Worth), math.Float64bits(m.Slackness), a.Stage1Feasible())
+	for k := range a.System().Strings {
+		if a.Complete(k) {
+			fmt.Fprintf(h, "t%d,%016x|", k, math.Float64bits(a.Tightness(k)))
+		}
+	}
+	fmt.Fprintf(h, "%s|", soak.AllocationDigest(a))
+}
+
+// TestSparseMatchesDenseGolden replays each keyed op sequence and requires
+// the digest the dense implementation produced.
+func TestSparseMatchesDenseGolden(t *testing.T) {
+	for _, tc := range sparseGoldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := replaySparseOps(t, tc.cfg, tc.seed, sparseGoldenRounds)
+			if got != tc.golden {
+				t.Errorf("digest %s, golden (dense) %s", got, tc.golden)
+			}
+		})
+	}
+}
+
+// snapshotGoldenFile pairs a v1 snapshot JSON (written by the dense
+// implementation, no version field) with the state digest it must restore to.
+type snapshotGoldenFile struct {
+	Digest string                          `json:"digest"`
+	Snap   *feasibility.AllocationSnapshot `json:"snap"`
+}
+
+// snapshotGoldenSystem rebuilds the deterministic system the testdata
+// snapshot was taken over.
+func snapshotGoldenSystem() *feasibility.Allocation {
+	cfg := scenarioCfg(workload.HighlyLoaded, 20)
+	sys := workload.MustGenerate(cfg, 11)
+	a := feasibility.New(sys)
+	r := rng.NewRand(11, rng.SubsystemSparse, 1)
+	for round := 0; round < 10; round++ {
+		applySparseOps(r, a)
+	}
+	return a
+}
+
+// TestSnapshotV1Golden restores the version-1 snapshot file captured from the
+// dense implementation and requires the exact recorded state digest — the
+// compatibility contract for shipd -restore across the representation change.
+// Set UPDATE_SPARSE_TESTDATA=1 to (re)write the file; this must only ever be
+// done from the dense implementation, or the file stops being a v1 witness.
+func TestSnapshotV1Golden(t *testing.T) {
+	path := filepath.Join("testdata", "snapshot_v1.json")
+	live := snapshotGoldenSystem()
+	if os.Getenv("UPDATE_SPARSE_TESTDATA") == "1" {
+		out := snapshotGoldenFile{Digest: soak.AllocationDigest(live), Snap: live.Snapshot()}
+		data, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (digest %s)", path, out.Digest)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file snapshotGoldenFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := feasibility.FromSnapshot(live.System(), file.Snap)
+	if err != nil {
+		t.Fatalf("FromSnapshot(v1): %v", err)
+	}
+	if got := soak.AllocationDigest(restored); got != file.Digest {
+		t.Errorf("restored digest %s, recorded %s", got, file.Digest)
+	}
+	// The live replay and the snapshot witness the same deterministic state.
+	if got := soak.AllocationDigest(live); got != file.Digest {
+		t.Errorf("live replay digest %s, recorded %s", got, file.Digest)
+	}
+	// Round-trip through the current writer: snapshotting the restored
+	// allocation and restoring again must preserve the digest bit-for-bit.
+	again, err := feasibility.FromSnapshot(live.System(), restored.Snapshot())
+	if err != nil {
+		t.Fatalf("FromSnapshot(round trip): %v", err)
+	}
+	if got := soak.AllocationDigest(again); got != file.Digest {
+		t.Errorf("round-trip digest %s, recorded %s", got, file.Digest)
+	}
+}

@@ -16,8 +16,9 @@ import (
 // redundant work the naive path pays for:
 //
 //   - a fresh feasibility.Allocation per decode — replaced by a per-lane
-//     scratch allocation Reset in place, so the O(M^2) route matrices are
-//     allocated once per GENITOR trial instead of once per evaluation;
+//     scratch allocation Reset in place, so the sparse route adjacency and
+//     roster buffers are allocated once per GENITOR trial and recycled across
+//     evaluations instead of rebuilt per decode;
 //   - re-decoding chromosomes the search has already seen — replaced by a
 //     memo keyed on the consumed permutation prefix, which GENITOR hits more
 //     and more often as the population converges toward the elite.

@@ -110,14 +110,12 @@ func pickRepairVictim(a *feasibility.Allocation, mapped []bool) int {
 		}
 	}
 	overRoute := make(map[[2]int]bool)
-	for j1 := 0; j1 < sys.Machines; j1++ {
-		for j2 := 0; j2 < sys.Machines; j2++ {
-			if j1 != j2 && a.RouteUtilization(j1, j2) > 1+1e-9 {
-				overRoute[[2]int{j1, j2}] = true
-				anyOver = true
-			}
+	a.ActiveRoutes(func(j1, j2 int, u float64) {
+		if u > 1+1e-9 {
+			overRoute[[2]int{j1, j2}] = true
+			anyOver = true
 		}
-	}
+	})
 	if anyOver {
 		for k := range sys.Strings {
 			if !mapped[k] {

@@ -46,15 +46,11 @@ func WriteUtilization(w io.Writer, a *feasibility.Allocation, topRoutes int) {
 		u      float64
 	}
 	var routes []routeU
-	for j1 := 0; j1 < sys.Machines; j1++ {
-		for j2 := 0; j2 < sys.Machines; j2++ {
-			if j1 != j2 {
-				if u := a.RouteUtilization(j1, j2); u > 0 {
-					routes = append(routes, routeU{j1, j2, u})
-				}
-			}
+	a.ActiveRoutes(func(j1, j2 int, u float64) {
+		if u > 0 {
+			routes = append(routes, routeU{j1, j2, u})
 		}
-	}
+	})
 	sort.Slice(routes, func(x, y int) bool { return routes[x].u > routes[y].u })
 	if len(routes) > topRoutes {
 		routes = routes[:topRoutes]
@@ -107,13 +103,11 @@ func WriteViolations(w io.Writer, a *feasibility.Allocation) {
 			if u := a.MachineUtilization(j); u > 1 {
 				fmt.Fprintf(w, "stage 1: machine %d over capacity at %.1f%%\n", j, 100*u)
 			}
-			for j2 := 0; j2 < sys.Machines; j2++ {
-				if j != j2 {
-					if u := a.RouteUtilization(j, j2); u > 1 {
-						fmt.Fprintf(w, "stage 1: route %d->%d over capacity at %.1f%%\n", j, j2, 100*u)
-					}
+			a.ActiveRoutesFrom(j, func(j2 int, u float64) {
+				if u > 1 {
+					fmt.Fprintf(w, "stage 1: route %d->%d over capacity at %.1f%%\n", j, j2, 100*u)
 				}
-			}
+			})
 		}
 	}
 	for _, v := range violations {

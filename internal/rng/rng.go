@@ -41,6 +41,7 @@ const (
 	SubsystemPhasing  = "experiments/phasing"
 	SubsystemSearch   = "experiments/search"
 	SubsystemDelta    = "feasibility/delta"
+	SubsystemSparse   = "feasibility/sparse"
 )
 
 // SimulationKey identifies one deterministic stream: the run's root seed, the

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/feasibility"
 	"repro/internal/model"
 	"repro/internal/overload"
 	"repro/internal/telemetry"
@@ -417,13 +419,29 @@ func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
 	if _, err := Restore(bad, Config{}); err == nil {
 		t.Fatal("restore accepted a snapshot with a mismatched digest")
 	}
-	// Unsupported schema version.
+	// Unsupported schema version: typed error, not a generic decode failure.
 	bad = write(func(s string) string {
 		return replaceOnce(s, fmt.Sprintf("\"schemaVersion\": %d", SchemaVersion),
 			fmt.Sprintf("\"schemaVersion\": %d", SchemaVersion+100))
 	})
-	if _, err := Restore(bad, Config{}); err == nil {
-		t.Fatal("restore accepted a future schema version")
+	_, err = Restore(bad, Config{})
+	var sverr *SchemaVersionError
+	if !errors.As(err, &sverr) {
+		t.Fatalf("future schema version error = %v, want *SchemaVersionError", err)
+	}
+	if sverr.Version != SchemaVersion+100 || sverr.Supported != SchemaVersion {
+		t.Fatalf("SchemaVersionError = %+v", sverr)
+	}
+	// Unsupported allocation snapshot version inside a valid schema: the
+	// typed feasibility error must surface through Restore's wrapping.
+	bad = write(func(s string) string {
+		return replaceOnce(s, fmt.Sprintf("\"version\": %d", feasibility.SnapshotVersion),
+			fmt.Sprintf("\"version\": %d", feasibility.SnapshotVersion+7))
+	})
+	_, err = Restore(bad, Config{})
+	var averr *feasibility.SnapshotVersionError
+	if !errors.As(err, &averr) {
+		t.Fatalf("future alloc snapshot version error = %v, want *feasibility.SnapshotVersionError", err)
 	}
 	// Garbage file.
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {

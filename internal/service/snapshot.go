@@ -19,6 +19,22 @@ import (
 	"repro/internal/soak"
 )
 
+// SchemaVersionError reports a snapshot file whose schema version this daemon
+// cannot serve — typically a newer daemon's file fed to an older binary.
+// Callers match it with errors.As to distinguish a version skew (retriable
+// with the right binary) from a corrupt or inconsistent snapshot. The
+// allocation section has its own format version with the same contract; see
+// feasibility.SnapshotVersionError.
+type SchemaVersionError struct {
+	Version   int // schema version recorded in the file
+	Supported int // newest schema version this daemon serves
+}
+
+func (e *SchemaVersionError) Error() string {
+	return fmt.Sprintf("service: snapshot schema version %d, this daemon supports 1..%d",
+		e.Version, e.Supported)
+}
+
 // SnapshotFile is the on-disk snapshot format.
 type SnapshotFile struct {
 	SchemaVersion int `json:"schemaVersion"`
@@ -97,8 +113,8 @@ func Restore(path string, cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: parse snapshot %s: %w", path, err)
 	}
 	if file.SchemaVersion < 1 || file.SchemaVersion > SchemaVersion {
-		return nil, fmt.Errorf("service: snapshot %s has schema version %d, this daemon supports 1..%d",
-			path, file.SchemaVersion, SchemaVersion)
+		return nil, fmt.Errorf("service: snapshot %s: %w",
+			path, &SchemaVersionError{Version: file.SchemaVersion, Supported: SchemaVersion})
 	}
 	if file.System == nil || file.Alloc == nil {
 		return nil, fmt.Errorf("service: snapshot %s is missing the system or allocation section", path)

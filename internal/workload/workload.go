@@ -79,6 +79,17 @@ type Config struct {
 	// weights are the documented default.
 	WorthLevels  []float64
 	WorthWeights []float64
+	// RouteDensity, when positive, sizes the suite for fleet-scale sparse
+	// instances instead of a fixed string count: the generator derives the
+	// number of strings so that the expected total of inter-application
+	// transfer edges — an upper bound on the distinct inter-machine routes
+	// any placement can activate — is RouteDensity × Machines. A density of
+	// O(1) routes per machine keeps the active-route footprint linear in
+	// machines no matter how large the fleet, which is what the sparse
+	// allocation core and its benchmarks rely on. Strings and RouteDensity
+	// are mutually exclusive: set exactly one. Requires MaxAppsPerString >= 2,
+	// since single-application strings produce no transfers.
+	RouteDensity float64
 	// Heterogeneity selects how nominal execution times relate across
 	// machines. The paper samples each (application, machine) value
 	// independently, which is the "inconsistent" model of its reference [5]
@@ -156,7 +167,7 @@ func (c Config) WithDefaults() Config {
 	if c.Machines == 0 {
 		c.Machines = d.Machines
 	}
-	if c.Strings == 0 {
+	if c.Strings == 0 && c.RouteDensity == 0 {
 		c.Strings = d.Strings
 	}
 	if c.MaxAppsPerString == 0 {
@@ -213,10 +224,21 @@ func (c Config) Validate() error {
 	switch {
 	case c.Machines < 1:
 		return fmt.Errorf("workload: %d machines", c.Machines)
-	case c.Strings < 1:
+	case c.Strings < 1 && c.RouteDensity <= 0:
 		return fmt.Errorf("workload: %d strings", c.Strings)
 	case c.MaxAppsPerString < 1:
 		return fmt.Errorf("workload: max %d applications per string", c.MaxAppsPerString)
+	}
+	if c.RouteDensity != 0 {
+		switch {
+		case c.RouteDensity < 0 || math.IsNaN(c.RouteDensity) || math.IsInf(c.RouteDensity, 0):
+			return fmt.Errorf("workload: route density %v, want finite positive", c.RouteDensity)
+		case c.Strings > 0:
+			return fmt.Errorf("workload: both %d strings and route density %v set, want exactly one", c.Strings, c.RouteDensity)
+		case c.MaxAppsPerString < 2:
+			return fmt.Errorf("workload: route density %v needs max applications per string >= 2, got %d (single-application strings produce no transfers)",
+				c.RouteDensity, c.MaxAppsPerString)
+		}
 	}
 	inf := math.Inf(1)
 	for _, rc := range []struct {
@@ -253,12 +275,47 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// NumStrings returns the effective string count of the configuration:
+// Strings when set, otherwise the count derived from RouteDensity — the
+// smallest suite whose expected inter-application transfer-edge total
+// reaches RouteDensity × Machines. Application counts are uniform on
+// [1, MaxAppsPerString], so a string carries (MaxAppsPerString-1)/2 transfer
+// edges in expectation.
+func (c Config) NumStrings() int {
+	if c.Strings > 0 || c.RouteDensity <= 0 {
+		return c.Strings
+	}
+	edgesPerString := float64(c.MaxAppsPerString-1) / 2
+	n := int(math.Ceil(c.RouteDensity * float64(c.Machines) / edgesPerString))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// FleetConfig returns a configuration for fleet-scale sparse instances: m
+// machines with the scenario-1 sampling ranges and relaxed QoS, short strings
+// (at most four applications) so per-string placement stays cheap, and the
+// string count derived from routesPerMachine — the target number of active
+// inter-machine routes per machine, kept O(1) so the route footprint grows
+// linearly in m rather than quadratically.
+func FleetConfig(m int, routesPerMachine float64) Config {
+	cfg := ScenarioConfig(HighlyLoaded)
+	cfg.Machines = m
+	cfg.Strings = 0
+	cfg.MaxAppsPerString = 4
+	cfg.RouteDensity = routesPerMachine
+	return cfg
+}
+
 // Generate builds a system from the configuration, deterministically for a
 // given seed. The returned system always passes model.Validate.
 func Generate(cfg Config, seed int64) (*model.System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg.Strings = cfg.NumStrings()
+	cfg.RouteDensity = 0
 	rnd := rng.NewRand(seed, rng.SubsystemWorkload, 0)
 	sys := &model.System{Machines: cfg.Machines}
 
@@ -275,6 +332,12 @@ func Generate(cfg Config, seed int64) (*model.System, error) {
 			}
 		}
 	}
+
+	// The bandwidth matrix is final from here on, so its O(M^2) average is
+	// hoisted out of the per-application µ formulas below; the transfer-time
+	// expression matches model.AvgTransferSeconds term for term, keeping the
+	// generated floats bit-identical to calling it directly.
+	invBW := sys.AvgInvBandwidth()
 
 	// Consistent heterogeneity: one speed factor per machine, applied to a
 	// per-application base time (clamped back into the configured range, a
@@ -331,7 +394,7 @@ func Generate(cfg Config, seed int64) (*model.System, error) {
 				periodBase = t
 			}
 			if i < n-1 {
-				tr := sys.AvgTransferSeconds(k, i)
+				tr := 8 * str.Apps[i].OutputKB / 1000 * invBW
 				latencyBase += t + tr
 				if tr > periodBase {
 					periodBase = tr

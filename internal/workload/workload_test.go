@@ -180,6 +180,11 @@ func TestConfigValidateRejections(t *testing.T) {
 		func(c *Config) { c.WorthWeights = []float64{1} },
 		func(c *Config) { c.WorthWeights = []float64{-1, 1, 1} },
 		func(c *Config) { c.WorthWeights = []float64{0, 0, 0} },
+		func(c *Config) { c.RouteDensity = -0.5 },
+		func(c *Config) { c.RouteDensity = math.NaN() },
+		func(c *Config) { c.RouteDensity = math.Inf(1) },
+		func(c *Config) { c.RouteDensity = 0.5 }, // Strings still set: ambiguous sizing
+		func(c *Config) { c.Strings = 0; c.RouteDensity = 0.5; c.MaxAppsPerString = 1 },
 	}
 	for i, mutate := range mutations {
 		cfg := ScenarioConfig(HighlyLoaded)
@@ -187,6 +192,37 @@ func TestConfigValidateRejections(t *testing.T) {
 		if _, err := Generate(cfg, 1); err == nil {
 			t.Errorf("mutation %d: invalid config accepted", i)
 		}
+	}
+}
+
+// TestRouteDensitySizing pins the fleet-scale sizing contract: NumStrings
+// derives the string count from RouteDensity so the expected transfer-edge
+// budget reaches density x machines, FleetConfig produces a valid
+// configuration at large M, and the edge budget stays linear in M (the
+// property the sparse allocation core's footprint guarantees rely on).
+func TestRouteDensitySizing(t *testing.T) {
+	for _, m := range []int{64, 512, 2048} {
+		cfg := FleetConfig(m, 0.5)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("FleetConfig(%d, 0.5): %v", m, err)
+		}
+		n := cfg.NumStrings()
+		// Expected edges per string with app counts uniform on 1..4 is
+		// (0+1+2+3)/4 = 1.5, so n must cover 0.5*m edges without ballooning.
+		edgesPerString := 1.5
+		if lo := 0.5 * float64(m) / edgesPerString; float64(n) < lo || float64(n) > lo+1 {
+			t.Errorf("M=%d: NumStrings = %d, want ceil(%.1f)", m, n, lo)
+		}
+	}
+	// Explicit Strings wins over density-derived sizing.
+	cfg := ScenarioConfig(HighlyLoaded)
+	if got := cfg.NumStrings(); got != cfg.Strings {
+		t.Errorf("NumStrings with explicit Strings = %d, want %d", got, cfg.Strings)
+	}
+	// The generated system honors the derived count end to end.
+	sys := MustGenerate(FleetConfig(64, 2), 33)
+	if want := FleetConfig(64, 2).NumStrings(); len(sys.Strings) != want {
+		t.Errorf("generated %d strings, want %d", len(sys.Strings), want)
 	}
 }
 

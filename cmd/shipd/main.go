@@ -15,16 +15,25 @@
 //	GET  /v1/state                                  full observable state
 //	GET  /v1/metrics                                telemetry + derived ratios
 //	GET  /v1/events?since=N                         decision stream (JSONL)
+//	GET  /v1/healthz                                liveness (500 = broken journal)
+//	GET  /v1/readyz                                 readiness (503 = recovering/draining)
 //
 // A daemon restarted with -restore resumes from a snapshot bit-identically:
 // the snapshot carries exact IEEE-754 accumulator bits and the restored
 // state's digest must match the recorded one.
+//
+// With -journal the daemon write-ahead logs every accepted mutation before
+// replying; after a crash, restarting with the same -journal recovers the
+// acknowledged history bit-identically (snapshot restore + journal replay,
+// verified record by record). While replay runs, the HTTP surface answers
+// healthz alive and everything else 503.
 //
 // Examples:
 //
 //	shipd -scenario 3 -seed 7 -addr localhost:8040
 //	shipd -in system.json -heuristic MWF -lp-bound
 //	shipd -restore shipd-snapshot.json -addr localhost:8040
+//	shipd -scenario 3 -journal shipd.wal -fsync batch    # first start and every restart
 package main
 
 import (
@@ -35,12 +44,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/faults"
 	"repro/internal/heuristics"
+	"repro/internal/journal"
 	"repro/internal/model"
 	"repro/internal/overload"
 	"repro/internal/service"
@@ -50,31 +62,36 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "localhost:8040", "HTTP listen address")
-		scenario  = flag.Int("scenario", 3, "paper scenario to generate: 1 | 2 | 3")
-		seed      = flag.Int64("seed", 1, "workload RNG seed")
-		strings_  = flag.Int("strings", 0, "override string count (0 = paper value)")
-		inFile    = flag.String("in", "", "load the system from a JSON file instead of generating")
-		heuristic = flag.String("heuristic", "", "initial mapping heuristic (MWF | TF | PSG | SeededPSG | ...); empty starts with nothing mapped")
-		psgIters  = flag.Int("psg-iters", 1000, "GENITOR iteration budget for the initial heuristic")
-		psgTrials = flag.Int("psg-trials", 2, "GENITOR trials for the initial heuristic")
-		workers   = flag.Int("workers", 0, "worker goroutines for the initial search (0 = all cores)")
-		faultFile = flag.String("faults", "", "apply a JSON failure scenario's outages at startup (shared loader with shipsched)")
-		surgeFile = flag.String("surge", "", "run a JSON demand-surge episode at startup (shared loader with shipsched)")
-		shedBelow = flag.Float64("shed-below", 0, "degradation controller: shed while slackness is below this")
-		readmitAb = flag.Float64("readmit-above", 0, "degradation controller: re-admit only above this slackness (0 = default)")
-		repairIt  = flag.Int("max-repair-iters", 0, "bound fault-repair eviction iterations (0 = unbounded)")
-		reclaimPs = flag.Int("max-reclaim-passes", 0, "bound fault-repair reclaim passes (0 = unbounded)")
-		lpBound   = flag.Bool("lp-bound", false, "maintain the relaxed-LP worth upper bound (warm-started re-solves on rescale)")
-		fullAna   = flag.Bool("full-analysis", false, "evaluate every operation with the full two-stage analysis instead of the delta path (benchmark fallback)")
-		snapPath  = flag.String("snapshot", "shipd-snapshot.json", "default path for POST /v1/snapshot")
-		restore   = flag.String("restore", "", "resume from a snapshot file written by POST /v1/snapshot")
+		addr        = flag.String("addr", "localhost:8040", "HTTP listen address")
+		scenario    = flag.Int("scenario", 3, "paper scenario to generate: 1 | 2 | 3")
+		seed        = flag.Int64("seed", 1, "workload RNG seed")
+		strings_    = flag.Int("strings", 0, "override string count (0 = paper value)")
+		inFile      = flag.String("in", "", "load the system from a JSON file instead of generating")
+		heuristic   = flag.String("heuristic", "", "initial mapping heuristic (MWF | TF | PSG | SeededPSG | ...); empty starts with nothing mapped")
+		psgIters    = flag.Int("psg-iters", 1000, "GENITOR iteration budget for the initial heuristic")
+		psgTrials   = flag.Int("psg-trials", 2, "GENITOR trials for the initial heuristic")
+		workers     = flag.Int("workers", 0, "worker goroutines for the initial search (0 = all cores)")
+		faultFile   = flag.String("faults", "", "apply a JSON failure scenario's outages at startup (shared loader with shipsched)")
+		surgeFile   = flag.String("surge", "", "run a JSON demand-surge episode at startup (shared loader with shipsched)")
+		shedBelow   = flag.Float64("shed-below", 0, "degradation controller: shed while slackness is below this")
+		readmitAb   = flag.Float64("readmit-above", 0, "degradation controller: re-admit only above this slackness (0 = default)")
+		repairIt    = flag.Int("max-repair-iters", 0, "bound fault-repair eviction iterations (0 = unbounded)")
+		reclaimPs   = flag.Int("max-reclaim-passes", 0, "bound fault-repair reclaim passes (0 = unbounded)")
+		lpBound     = flag.Bool("lp-bound", false, "maintain the relaxed-LP worth upper bound (warm-started re-solves on rescale)")
+		fullAna     = flag.Bool("full-analysis", false, "evaluate every operation with the full two-stage analysis instead of the delta path (benchmark fallback)")
+		snapPath    = flag.String("snapshot", "shipd-snapshot.json", "default path for POST /v1/snapshot")
+		restore     = flag.String("restore", "", "resume from a snapshot file written by POST /v1/snapshot")
+		journalPath = flag.String("journal", "", "write-ahead op journal path; recovers automatically when the journal already has history")
+		fsync       = flag.String("fsync", "batch", "journal durability policy: always | batch | none")
+		compactEv   = flag.Int("compact-every", 0, "fold the journal into its snapshot every N records (0 = default 4096, negative disables)")
 	)
 	flag.Parse()
 
 	// The daemon always runs instrumented; /v1/metrics serves the registry.
 	telemetry.Enable()
 
+	fsyncPolicy, err := journal.ParseFsyncPolicy(*fsync)
+	fatal(err)
 	cfg := service.Config{
 		Overload: overload.Config{ShedBelow: *shedBelow, ReadmitAbove: *readmitAb},
 		Repair: dynamic.Options{
@@ -84,17 +101,61 @@ func main() {
 		LPBound:      *lpBound,
 		FullAnalysis: *fullAna,
 		SnapshotPath: *snapPath,
+		Seed:         *seed,
+		Journal:      *journalPath,
+		Fsync:        fsyncPolicy,
+		CompactEvery: *compactEv,
+	}
+	// Crash-injection fault point for the crashtest harness: tear the journal
+	// after this many appended bytes and kill the process.
+	if v := os.Getenv("SHIPD_JOURNAL_CRASH_BYTES"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		fatal(err)
+		cfg.JournalCrashAfter = n
 	}
 
-	var (
-		svc *service.Service
-		err error
-	)
-	if *restore != "" {
+	// Serve immediately: a switchable handler answers "recovering" until the
+	// service is up, so health checks see the daemon the moment it binds.
+	var handler atomic.Value
+	handler.Store(service.RecoveringHandler())
+	server := &http.Server{
+		Addr: *addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}),
+	}
+	done := make(chan error, 1)
+	go func() { done <- server.ListenAndServe() }()
+
+	// A journal with history (or with its base snapshot already on disk —
+	// i.e. a crash before the first header) means this start is a recovery.
+	recoverJournal := false
+	if *journalPath != "" {
+		if info, err := os.Stat(*journalPath); err == nil && info.Size() > 0 {
+			recoverJournal = true
+		} else if _, err := os.Stat(service.JournalSnapshotPath(*journalPath)); err == nil {
+			recoverJournal = true
+		}
+	}
+
+	var svc *service.Service
+	switch {
+	case recoverJournal && *restore != "":
+		fatal(fmt.Errorf("journal %s already has history; -restore would fork it (recover without -restore, or move the journal aside)", *journalPath))
+	case recoverJournal:
+		var rep *service.RecoveryReport
+		svc, rep, err = service.Recover(*journalPath, cfg)
+		fatal(err)
+		fmt.Printf("shipd: recovered from journal %s: snapshot seq %d (digest %s), %d ops replayed, %d skipped, state seq %d, digest %s\n",
+			*journalPath, rep.SnapshotSeq, rep.SnapshotDigest, rep.Replayed, rep.Skipped, rep.FinalSeq, rep.Digest)
+		if rep.Torn {
+			fmt.Printf("shipd: journal had a torn tail (%d bytes) from an interrupted append; discarded\n", rep.TornBytes)
+		}
+	case *restore != "":
 		svc, err = service.Restore(*restore, cfg)
 		fatal(err)
 		fmt.Printf("shipd: restored state from %s\n", *restore)
-	} else {
+	default:
 		cfg.System, err = loadSystem(*inFile, *scenario, *seed, *strings_)
 		fatal(err)
 		cfg.Heuristic = *heuristic
@@ -133,9 +194,7 @@ func main() {
 		fmt.Printf("shipd: surge episode %q done, worth retained %.1f%%\n", sc.Name, 100*d.WorthRetained)
 	}
 
-	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
-	done := make(chan error, 1)
-	go func() { done <- server.ListenAndServe() }()
+	handler.Store(svc.Handler())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -147,7 +206,11 @@ func main() {
 			fatal(err)
 		}
 	case s := <-sig:
-		fmt.Printf("shipd: %v, shutting down\n", s)
+		// Graceful drain: fail readiness first so balancers stop sending
+		// work, then let in-flight requests finish; the deferred Close flushes
+		// and closes the journal.
+		fmt.Printf("shipd: %v, draining and shutting down\n", s)
+		svc.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = server.Shutdown(ctx)

@@ -42,6 +42,7 @@ const (
 	SubsystemSearch   = "experiments/search"
 	SubsystemDelta    = "feasibility/delta"
 	SubsystemSparse   = "feasibility/sparse"
+	SubsystemJournal  = "service/journal"
 )
 
 // SimulationKey identifies one deterministic stream: the run's root seed, the

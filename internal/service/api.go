@@ -192,8 +192,8 @@ type StateResponse struct {
 	Feasible      bool    `json:"feasible"`
 	// WorthBound is the LP upper bound on total worth (0 when disabled).
 	WorthBound float64 `json:"worthBound,omitempty"`
-	// Digest is the soak.AllocationDigest fingerprint of the live allocation;
-	// bit-identical states have equal digests.
+	// Digest is the feasibility.StateDigest fingerprint of the live
+	// allocation; bit-identical states have equal digests.
 	Digest       string `json:"digest"`
 	MachinesDown int    `json:"machinesDown"`
 	RoutesDown   int    `json:"routesDown"`
@@ -209,6 +209,45 @@ type MetricsResponse struct {
 	SchemaVersion int                `json:"schemaVersion"`
 	Telemetry     telemetry.Snapshot `json:"telemetry"`
 	Derived       map[string]float64 `json:"derived,omitempty"`
+}
+
+// Phase is the daemon lifecycle phase reported by GET /v1/readyz. Liveness
+// (GET /v1/healthz) is orthogonal: a recovering or draining daemon is alive
+// but not ready.
+type Phase int32
+
+const (
+	// PhaseRecovering: journal replay is in progress; state is not yet
+	// servable (reported by the pre-recovery handler, see RecoveringHandler).
+	PhaseRecovering Phase = iota
+	// PhaseReady: serving.
+	PhaseReady
+	// PhaseDraining: graceful shutdown has begun; in-flight operations
+	// complete but the daemon should be removed from rotation.
+	PhaseDraining
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseRecovering:
+		return "recovering"
+	case PhaseReady:
+		return "ready"
+	case PhaseDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("phase(%d)", int32(p))
+}
+
+// HealthResponse is the body of GET /v1/healthz (and a ready GET /v1/readyz).
+// A not-ready readyz responds with the standard 503 CodeUnavailable error
+// envelope instead, carrying the phase in the message and details.
+type HealthResponse struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Status        string `json:"status"`
+	Phase         string `json:"phase"`
+	// Reason explains a failed health check (e.g. a broken journal).
+	Reason string `json:"reason,omitempty"`
 }
 
 // fromViolations converts analyzer violations to their wire form.

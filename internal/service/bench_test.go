@@ -2,8 +2,10 @@ package service
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 
+	"repro/internal/journal"
 	"repro/internal/model"
 )
 
@@ -48,6 +50,52 @@ func BenchmarkServiceAdmit(b *testing.B) {
 		} {
 			b.Run(fmt.Sprintf("%s/M=%d", arm.name, m), func(b *testing.B) {
 				svc, err := New(Config{System: benchSystem(m), FullAnalysis: arm.full})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				for k := 0; k < 2*m; k++ {
+					if d, err := svc.Admit(k); err != nil || !d.Accepted {
+						b.Fatalf("admit %d: %v %+v", k, err, d)
+					}
+				}
+				if _, err := svc.Remove(0); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					d, err := svc.Admit(0)
+					if err != nil || !d.Accepted {
+						b.Fatalf("admit: %v %+v", err, d)
+					}
+					if _, err := svc.Remove(0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkServiceAdmitJournaled is BenchmarkServiceAdmit's delta arm with the
+// write-ahead journal on, one sub-benchmark per fsync policy. The difference
+// against BenchmarkServiceAdmit delta/M=512 is the full durability overhead on
+// the serve path — record marshal, chained check, append, and (policy-
+// dependent) fsync. Results are recorded in BENCH_journal.json; the acceptance
+// target is batch <= 2x the unjournaled path at M=512. Compaction is disabled
+// so the numbers isolate the append path.
+func BenchmarkServiceAdmitJournaled(b *testing.B) {
+	for _, m := range []int{64, 512} {
+		for _, policy := range []journal.FsyncPolicy{journal.FsyncAlways, journal.FsyncBatch, journal.FsyncNone} {
+			b.Run(fmt.Sprintf("fsync=%s/M=%d", policy, m), func(b *testing.B) {
+				dir := b.TempDir()
+				svc, err := New(Config{
+					System:       benchSystem(m),
+					Journal:      filepath.Join(dir, "bench.wal"),
+					Fsync:        policy,
+					CompactEvery: -1,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}

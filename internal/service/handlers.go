@@ -30,7 +30,64 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/state", s.handleState)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	return mux
+}
+
+// RecoveringHandler is the HTTP surface a daemon serves while journal replay
+// is still running: healthz reports alive-and-recovering, everything else
+// (including readyz) is 503 CodeUnavailable. cmd/shipd swaps in the real
+// handler once Recover returns.
+func RecoveringHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, HealthResponse{
+			SchemaVersion: SchemaVersion, Status: "ok", Phase: PhaseRecovering.String(),
+		})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable,
+			Errorf(CodeUnavailable, []string{PhaseRecovering.String()},
+				"service is recovering: journal replay in progress"))
+	})
+	return mux
+}
+
+// handleHealthz is liveness: 200 while the daemon can serve anything at all,
+// 500 once the journal is broken (mutations fail fast; reads still work, but
+// the daemon wants replacing).
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	phase := s.Phase().String()
+	if reason, broken := s.JournalBroken(); broken {
+		writeJSON(w, http.StatusInternalServerError, HealthResponse{
+			SchemaVersion: SchemaVersion, Status: "failed", Phase: phase,
+			Reason: "journal append failed: " + reason,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		SchemaVersion: SchemaVersion, Status: "ok", Phase: phase,
+	})
+}
+
+// handleReadyz is readiness: 200 only when the daemon should receive traffic.
+// Draining (graceful shutdown) and a broken journal both answer 503 with the
+// standard CodeUnavailable envelope.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if p := s.Phase(); p != PhaseReady {
+		writeJSON(w, http.StatusServiceUnavailable,
+			Errorf(CodeUnavailable, []string{p.String()}, "service is %s", p))
+		return
+	}
+	if reason, broken := s.JournalBroken(); broken {
+		writeJSON(w, http.StatusServiceUnavailable,
+			Errorf(CodeUnavailable, []string{"journal"}, "journal append failed: %s", reason))
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		SchemaVersion: SchemaVersion, Status: "ready", Phase: PhaseReady.String(),
+	})
 }
 
 // statusFor maps envelope error codes to HTTP statuses.

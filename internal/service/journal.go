@@ -1,0 +1,427 @@
+// Write-ahead op journal: every mutation the daemon accepts (admit, remove,
+// rescale, faults, surge — anything that advances the decision sequence) is
+// appended to a crash-safe journal before the reply goes out, so a killed
+// daemon restarted with Recover replays exactly the acknowledged history and
+// lands on a bit-identical allocation.
+//
+// The durability contract, layer by layer:
+//
+//   - internal/journal owns framing: length-prefixed CRC32C records, torn
+//     tails cleanly discarded, mid-log corruption a typed hard error.
+//   - This file owns semantics: each record carries the op name, the exact
+//     wire payload, the decision seq, whether it was accepted, the service RNG
+//     stream position, and a running O(1) chain check over the decision
+//     outcomes. Every DigestEvery records the full feasibility.StateDigest is
+//     embedded too, so replay divergence is caught within a bounded window
+//     without paying the O(state) digest on every append.
+//   - Replay goes through the same applyOp dispatch as live serving. There is
+//     no separate "recovery interpreter" to drift out of sync: a journaled
+//     admit is re-admitted by st.admit, a journaled rejection is re-rejected,
+//     and the chain check fails loudly if the outcome differs in any bit the
+//     decision exposes.
+//
+// Compaction: every CompactEvery appended records the daemon writes an atomic
+// sidecar snapshot (<journal>.snap.json), truncates the journal, and writes a
+// fresh header. The invariant is that snapshot state + journal tail replay
+// always reproduces the live state; records with seq at or below the snapshot
+// seq are skipped on replay, which also covers a crash landing between the
+// compaction snapshot and the truncate.
+//
+// Failure policy: if an append fails (disk full, journal file yanked), the
+// mutation's reply is an error, the daemon marks the journal broken, and all
+// further mutations fail fast with CodeInternal while reads keep serving and
+// GET /v1/healthz reports the failure. The op whose append failed is
+// indeterminate to the client — exactly the contract of any write-ahead
+// system — and the operator decides whether to snapshot-and-restart.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/feasibility"
+	"repro/internal/journal"
+	"repro/internal/overload"
+	"repro/internal/telemetry"
+)
+
+// Op names as journaled; the header record marks a journal (re)start.
+const (
+	opAdmit   = "admit"
+	opRemove  = "remove"
+	opRescale = "rescale"
+	opFaults  = "faults"
+	opSurge   = "surge"
+	opHeader  = "header"
+)
+
+// opRecord is one journal record: the wire payload of an accepted mutation
+// plus enough verification state to catch replay divergence.
+type opRecord struct {
+	V   int    `json:"v"`
+	Seq uint64 `json:"seq"`
+	Op  string `json:"op"`
+	// Payload is the exact wire-shaped request body the op was applied with.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Accepted mirrors the Decision outcome; rejected decisions advance the
+	// sequence number too and are journaled so replay reproduces the full
+	// event history.
+	Accepted bool `json:"accepted"`
+	// RNGCalls is the service RNG stream position after the op.
+	RNGCalls uint64 `json:"rngCalls"`
+	// Check is the running chain value after folding in this op's decision.
+	Check string `json:"check"`
+	// StateDigest is the full allocation digest, embedded every DigestEvery
+	// records (empty otherwise).
+	StateDigest string `json:"stateDigest,omitempty"`
+}
+
+// chainNext folds one decision into the running chain check: an O(1)
+// hash over the fields that pin the decision's observable outcome. Replay
+// recomputes the chain and compares against the journaled value per record.
+func chainNext(prev string, d *Decision) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|%s|%v|%d|%016x|%016x|%d|",
+		prev, d.Seq, d.Op, d.Accepted, d.StringID,
+		math.Float64bits(d.WorthAfter), math.Float64bits(d.Slackness), d.Mapped)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// JournalSnapshotPath is the compaction-snapshot sidecar of a journal file.
+func JournalSnapshotPath(journalPath string) string {
+	return journalPath + ".snap.json"
+}
+
+// ReplayError reports a journal whose records decode but whose replay
+// diverges from the journaled outcomes: a seq gap, a decision that came out
+// differently, a chain or digest mismatch. It means the journal and the
+// snapshot (or the binary) disagree — unlike a torn tail, this is never
+// repaired silently.
+type ReplayError struct {
+	Path   string // journal file
+	Index  int    // record index within the scan
+	Seq    uint64 // journaled sequence number (0 if undecodable)
+	Op     string // journaled op (empty if undecodable)
+	Reason string
+}
+
+func (e *ReplayError) Error() string {
+	return fmt.Sprintf("service: journal %s record %d (seq %d, op %q): %s",
+		e.Path, e.Index, e.Seq, e.Op, e.Reason)
+}
+
+// RecoveryReport summarizes a Recover run for logs and banners.
+type RecoveryReport struct {
+	// SnapshotSeq and SnapshotDigest identify the sidecar snapshot the replay
+	// started from.
+	SnapshotSeq    uint64 `json:"snapshotSeq"`
+	SnapshotDigest string `json:"snapshotDigest"`
+	// Replayed counts records applied; Skipped counts records at or below the
+	// snapshot seq (present only after a crash between compaction snapshot
+	// and truncate).
+	Replayed int `json:"replayed"`
+	Skipped  int `json:"skipped"`
+	// Torn reports a discarded torn tail of TornBytes bytes — expected debris
+	// after a crash mid-append, not an error.
+	Torn      bool  `json:"torn"`
+	TornBytes int64 `json:"tornBytes"`
+	// FinalSeq and Digest describe the recovered state.
+	FinalSeq uint64 `json:"finalSeq"`
+	Digest   string `json:"digest"`
+}
+
+// decodeOp unmarshals a journaled (or freshly marshaled) op payload. Failures
+// are internal: the payload was produced by json.Marshal on the live path.
+func decodeOp(op string, payload json.RawMessage, dst any) *ErrorEnvelope {
+	if err := json.Unmarshal(payload, dst); err != nil {
+		return Errorf(CodeInternal, nil, "decode %s payload: %v", op, err)
+	}
+	return nil
+}
+
+// applyOp dispatches one op by name and payload. It is the single entry point
+// for both live mutations and journal replay, which is what guarantees replay
+// reproduces the live path decision for decision.
+func (st *state) applyOp(op string, payload json.RawMessage) (Decision, *ErrorEnvelope) {
+	switch op {
+	case opAdmit:
+		var req AdmitRequest
+		if e := decodeOp(op, payload, &req); e != nil {
+			return Decision{}, e
+		}
+		return st.admit(req.StringID)
+	case opRemove:
+		var req RemoveRequest
+		if e := decodeOp(op, payload, &req); e != nil {
+			return Decision{}, e
+		}
+		return st.remove(req.StringID)
+	case opRescale:
+		var req RescaleRequest
+		if e := decodeOp(op, payload, &req); e != nil {
+			return Decision{}, e
+		}
+		return st.rescale(req.StringID, req.Factor)
+	case opFaults:
+		var req FaultsRequest
+		if e := decodeOp(op, payload, &req); e != nil {
+			return Decision{}, e
+		}
+		return st.applyFaults(req)
+	case opSurge:
+		var sc overload.Scenario
+		if e := decodeOp(op, payload, &sc); e != nil {
+			return Decision{}, e
+		}
+		return st.applySurge(&sc)
+	}
+	return Decision{}, Errorf(CodeBadRequest, nil, "unknown op %q", op)
+}
+
+// mutateOp runs one mutation on the state loop: apply, then journal before
+// the reply. Envelope errors (conflict, unknown string, bad request) never
+// advance the sequence number and are not journaled; every Decision —
+// accepted or rejected — is.
+func (st *state) mutateOp(op string, payload json.RawMessage) (Decision, *ErrorEnvelope) {
+	if st.broken != nil {
+		return Decision{}, Errorf(CodeInternal, nil,
+			"journal is broken, daemon refuses mutations: %v", st.broken)
+	}
+	d, e := st.applyOp(op, payload)
+	if e != nil {
+		return Decision{}, e
+	}
+	if st.jw != nil {
+		if err := st.journalAppend(op, payload, &d); err != nil {
+			st.broken = err
+			if st.onBroken != nil {
+				st.onBroken(err)
+			}
+			telemetry.C("service.journal.broken").Inc()
+			return Decision{}, Errorf(CodeInternal, nil, "journal append: %v", err)
+		}
+	}
+	return d, nil
+}
+
+// journalAppend records one decided op, advancing the chain check and
+// triggering periodic state digests and compaction.
+func (st *state) journalAppend(op string, payload json.RawMessage, d *Decision) error {
+	st.chain = chainNext(st.chain, d)
+	rec := opRecord{
+		V:        SchemaVersion,
+		Seq:      d.Seq,
+		Op:       op,
+		Payload:  payload,
+		Accepted: d.Accepted,
+		RNGCalls: st.rngs.Calls(),
+		Check:    st.chain,
+	}
+	st.sinceDigest++
+	if st.cfg.DigestEvery > 0 && st.sinceDigest >= st.cfg.DigestEvery {
+		rec.StateDigest = feasibility.StateDigest(st.alloc)
+		st.sinceDigest = 0
+	}
+	buf, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("marshal op record: %w", err)
+	}
+	start := time.Now()
+	if _, err := st.jw.Append(buf); err != nil {
+		return err
+	}
+	telemetry.C("service.journal.appends").Inc()
+	telemetry.C("service.journal.append_bytes").Add(int64(len(buf)))
+	telemetry.H("service.journal.append_ns").Observe(float64(time.Since(start)))
+	st.sinceCompact++
+	if st.cfg.CompactEvery > 0 && st.sinceCompact >= st.cfg.CompactEvery {
+		return st.compact()
+	}
+	return nil
+}
+
+// compact folds the journal into its sidecar snapshot: durable snapshot
+// first, then truncate, then a fresh header. A crash at any point recovers —
+// before the snapshot rename the old snapshot + full journal replays, after
+// it the new snapshot simply skips every journaled seq.
+func (st *state) compact() error {
+	start := time.Now()
+	if _, e := st.snapshotTo(JournalSnapshotPath(st.jw.Path())); e != nil {
+		return fmt.Errorf("compaction snapshot: %w", e)
+	}
+	if err := st.jw.Reset(); err != nil {
+		return fmt.Errorf("compaction truncate: %w", err)
+	}
+	if err := st.appendHeader(); err != nil {
+		return err
+	}
+	st.sinceCompact = 0
+	telemetry.C("service.journal.compactions").Inc()
+	telemetry.H("service.journal.compact_ns").Observe(float64(time.Since(start)))
+	return nil
+}
+
+// appendHeader writes and syncs the journal header record carrying the schema
+// version, current seq, and chain value, so an older binary fed a newer
+// journal fails with SchemaVersionError before replaying anything.
+func (st *state) appendHeader() error {
+	rec := opRecord{V: SchemaVersion, Seq: st.seq, Op: opHeader, Check: st.chain}
+	buf, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("marshal header record: %w", err)
+	}
+	if _, err := st.jw.Append(buf); err != nil {
+		return fmt.Errorf("append header record: %w", err)
+	}
+	return st.jw.Sync()
+}
+
+// journalOptions builds the writer options from the service config.
+func (st *state) journalOptions() journal.Options {
+	return journal.Options{
+		Fsync:      st.cfg.Fsync,
+		OnFsync:    func() { telemetry.C("service.journal.fsyncs").Inc() },
+		CrashAfter: st.cfg.JournalCrashAfter,
+	}
+}
+
+// bootstrapJournal starts journaling on a fresh (or cleanly absent) journal
+// file: base snapshot first, then the journal with its header. A non-empty
+// existing journal is refused — that history belongs to Recover, and silently
+// appending over it (or ignoring it) would forge the acknowledged record.
+func (st *state) bootstrapJournal() error {
+	path := st.cfg.Journal
+	if info, err := os.Stat(path); err == nil && info.Size() > 0 {
+		return fmt.Errorf("service: journal %s already exists (%d bytes); recover with Recover or move it aside",
+			path, info.Size())
+	}
+	// Snapshot before journal creation: a crash between the two leaves a
+	// snapshot with no journal, which Recover handles as zero replayed records.
+	if _, e := st.snapshotTo(JournalSnapshotPath(path)); e != nil {
+		return fmt.Errorf("service: journal base snapshot: %w", e)
+	}
+	w, _, err := journal.Open(path, st.journalOptions())
+	if err != nil {
+		return fmt.Errorf("service: open journal: %w", err)
+	}
+	st.jw = w
+	if err := st.appendHeader(); err != nil {
+		w.Close()
+		st.jw = nil
+		return fmt.Errorf("service: journal header: %w", err)
+	}
+	return nil
+}
+
+// Recover rebuilds a Service from a journal and its sidecar snapshot: restore
+// the snapshot, replay the journal tail through the normal op dispatch, and
+// verify every record's chain check (plus the periodic full state digests and
+// the RNG stream position) along the way.
+//
+// A torn tail — the debris of a crash mid-append — is truncated and reported
+// in the RecoveryReport. Mid-log corruption surfaces as *journal.CorruptError,
+// replay divergence as *ReplayError, and a journal written by a newer daemon
+// as *SchemaVersionError; none of the three are repaired silently.
+//
+// As with Restore, cfg.System is ignored (the snapshot pins the catalog) and
+// the serving knobs come from cfg; they must match the crashed daemon's for
+// ops like surge to replay identically.
+func Recover(journalPath string, cfg Config) (*Service, *RecoveryReport, error) {
+	cfg.Journal = journalPath
+	snapPath := JournalSnapshotPath(journalPath)
+	file, err := loadSnapshotFile(snapPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: recover: %w", err)
+	}
+	st, err := stateFromSnapshot(snapPath, file, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: recover: %w", err)
+	}
+	st.chain = file.Chain
+	st.rngs.Skip(file.RNGCalls)
+	// Replay drives the real op methods, which need the analyzer and the
+	// worth mirrors that startService would otherwise attach after the fact.
+	st.da = feasibility.Track(st.alloc)
+	st.recount()
+	w, scan, err := journal.Open(journalPath, st.journalOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: recover: %w", err)
+	}
+	st.jw = w
+	rep := &RecoveryReport{
+		SnapshotSeq:    file.Seq,
+		SnapshotDigest: file.Digest,
+		Torn:           scan.Torn,
+		TornBytes:      scan.TornBytes,
+	}
+	fail := func(i int, seq uint64, op, reason string) (*Service, *RecoveryReport, error) {
+		w.Close()
+		return nil, nil, &ReplayError{Path: journalPath, Index: i, Seq: seq, Op: op, Reason: reason}
+	}
+	for i, raw := range scan.Payloads {
+		var rec opRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fail(i, 0, "", fmt.Sprintf("undecodable record: %v", err))
+		}
+		if rec.V > SchemaVersion {
+			w.Close()
+			return nil, nil, fmt.Errorf("service: journal %s record %d: %w", journalPath, i,
+				&SchemaVersionError{Version: rec.V, Supported: SchemaVersion})
+		}
+		if rec.Op == opHeader {
+			continue
+		}
+		if rec.Seq <= file.Seq {
+			// Already folded into the snapshot (crash between compaction
+			// snapshot and truncate leaves such a prefix).
+			rep.Skipped++
+			continue
+		}
+		if rec.Seq != st.seq+1 {
+			return fail(i, rec.Seq, rec.Op, fmt.Sprintf("sequence gap: journal at seq %d, state at seq %d", rec.Seq, st.seq))
+		}
+		d, e := st.applyOp(rec.Op, rec.Payload)
+		if e != nil {
+			return fail(i, rec.Seq, rec.Op, fmt.Sprintf("journaled op failed on replay: %v", e))
+		}
+		if d.Accepted != rec.Accepted {
+			return fail(i, rec.Seq, rec.Op, fmt.Sprintf("decision diverged: replay accepted=%v, journal accepted=%v", d.Accepted, rec.Accepted))
+		}
+		st.chain = chainNext(st.chain, &d)
+		if st.chain != rec.Check {
+			return fail(i, rec.Seq, rec.Op, "running chain check diverged from journaled value")
+		}
+		if rec.RNGCalls != st.rngs.Calls() {
+			return fail(i, rec.Seq, rec.Op, fmt.Sprintf("rng stream position diverged: replay %d, journal %d", st.rngs.Calls(), rec.RNGCalls))
+		}
+		if rec.StateDigest != "" {
+			if got := feasibility.StateDigest(st.alloc); got != rec.StateDigest {
+				return fail(i, rec.Seq, rec.Op, fmt.Sprintf("state digest diverged: replay %s, journal %s", got, rec.StateDigest))
+			}
+		}
+		rep.Replayed++
+	}
+	// A journal truncated right before the header (or torn down to empty)
+	// needs its header back before new ops ride on it.
+	if w.Size() == 0 {
+		if err := st.appendHeader(); err != nil {
+			w.Close()
+			return nil, nil, fmt.Errorf("service: recover: %w", err)
+		}
+	}
+	rep.FinalSeq = st.seq
+	rep.Digest = feasibility.StateDigest(st.alloc)
+	telemetry.C("service.journal.replayed").Add(int64(rep.Replayed))
+	telemetry.C("service.journal.torn_bytes").Add(rep.TornBytes)
+	svc, err := startService(st)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	return svc, rep, nil
+}

@@ -1,0 +1,475 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/overload"
+)
+
+// journaledService starts a journaling daemon over the standard test system
+// and returns it with its journal path.
+func journaledService(t *testing.T, m int, cfg Config) (*Service, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "shipd.wal")
+	cfg.Journal = path
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "manual-snapshot.json")
+	svc := newTestService(t, m, cfg)
+	return svc, path
+}
+
+// driveOps runs a representative mixed op sequence: admissions (some of which
+// conflict and must NOT be journaled), removals, rescales (accepted and
+// rejected), faults, and a surge episode.
+func driveOps(t *testing.T, svc *Service) {
+	t.Helper()
+	for k := 0; k < 6; k++ {
+		mustAdmit(t, svc, k)
+	}
+	if _, err := svc.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := svc.Rescale(3, 1.5); err != nil || !d.Accepted {
+		t.Fatalf("rescale: %+v, %v", d, err)
+	}
+	// A rescale far beyond capacity is rejected — a seq-advancing decision
+	// that must replay as the same rejection.
+	if d, err := svc.Rescale(4, 1e9); err != nil {
+		t.Fatal(err)
+	} else if d.Accepted {
+		t.Fatal("absurd rescale accepted")
+	}
+	if _, err := svc.Faults(FaultsRequest{Fail: []faults.Resource{faults.Machine(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Faults(FaultsRequest{Repair: []faults.Resource{faults.Machine(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Surge(&overload.Scenario{
+		Name:   "journal-test-swell",
+		Events: []overload.Event{{Kind: overload.Step, At: 0, Duration: 30, Factor: 1.4}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Envelope errors must not advance seq or touch the journal.
+	if _, err := svc.Admit(0); err == nil {
+		t.Fatal("duplicate admit did not error")
+	}
+}
+
+func stateOf(t *testing.T, svc *Service) StateResponse {
+	t.Helper()
+	st, err := svc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// The core recovery contract: kill a journaled daemon (simulated by not
+// closing it cleanly from the journal's point of view — Close flushes, which
+// a real crash also gets for completed write(2)s) and Recover must land on a
+// bit-identical state.
+func TestRecoverReproducesStateBitIdentically(t *testing.T) {
+	svc, path := journaledService(t, 8, Config{DigestEvery: 3})
+	driveOps(t, svc)
+	want := stateOf(t, svc)
+	svc.Close()
+
+	rec, rep, err := Recover(path, Config{DigestEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rep.Replayed == 0 {
+		t.Fatalf("report = %+v, want replayed ops", rep)
+	}
+	got := stateOf(t, rec)
+	if got.Digest != want.Digest {
+		t.Fatalf("recovered digest %s, want %s", got.Digest, want.Digest)
+	}
+	if got.Seq != want.Seq {
+		t.Fatalf("recovered seq %d, want %d", got.Seq, want.Seq)
+	}
+	if rep.FinalSeq != want.Seq || rep.Digest != want.Digest {
+		t.Fatalf("report %+v disagrees with state seq %d digest %s", rep, want.Seq, want.Digest)
+	}
+	// Satellite: replay-dedupe. An op acked before the crash must be
+	// idempotently observable — re-applying it is the same conflict the live
+	// path reports, not a double-apply.
+	if _, err := rec.Admit(0); err == nil {
+		t.Fatal("re-admit after recovery did not conflict")
+	} else {
+		var env *ErrorEnvelope
+		if !errors.As(err, &env) || env.Err.Code != CodeConflict {
+			t.Fatalf("re-admit error = %v, want %s envelope", err, CodeConflict)
+		}
+	}
+	// And the recovered daemon keeps serving + journaling.
+	if d, err := rec.Admit(2); err != nil || !d.Accepted {
+		t.Fatalf("admit after recovery: %+v, %v", d, err)
+	}
+}
+
+// A torn final record (crash mid-append) is discarded and reported; the
+// recovered state matches the acked history minus the torn op.
+func TestRecoverDiscardsTornTail(t *testing.T) {
+	svc, path := journaledService(t, 6, Config{})
+	for k := 0; k < 4; k++ {
+		mustAdmit(t, svc, k)
+	}
+	svc.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, rep, err := Recover(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if !rep.Torn || rep.TornBytes == 0 {
+		t.Fatalf("report = %+v, want torn tail", rep)
+	}
+	if rep.Replayed != 3 || rep.FinalSeq != 3 {
+		t.Fatalf("report = %+v, want 3 replayed ops", rep)
+	}
+	// The torn admit (string 3) was never acked-and-recovered: re-admitting
+	// succeeds.
+	if d, err := rec.Admit(3); err != nil || !d.Accepted {
+		t.Fatalf("re-admit of torn op: %+v, %v", d, err)
+	}
+}
+
+// Satellite corruption taxonomy at the service layer: a CRC-flipped middle
+// record is a typed hard error, never a silent repair.
+func TestRecoverCorruptMiddleRecordIsTypedError(t *testing.T) {
+	svc, path := journaledService(t, 6, Config{})
+	for k := 0; k < 5; k++ {
+		mustAdmit(t, svc, k)
+	}
+	svc.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Recover(path, Config{})
+	var ce *journal.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %v, want *journal.CorruptError", err)
+	}
+}
+
+// A journal written by a newer daemon (header schema version above ours) is a
+// typed *SchemaVersionError, same contract as snapshots.
+func TestRecoverNewerJournalSchemaIsTypedError(t *testing.T) {
+	svc, path := journaledService(t, 4, Config{})
+	mustAdmit(t, svc, 0)
+	svc.Close()
+
+	scan, err := journal.Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := journal.Open(filepath.Join(t.TempDir(), "newer.wal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range scan.Payloads {
+		bumped := strings.Replace(string(p), `{"v":1,`, `{"v":99,`, 1)
+		if _, err := w.Append([]byte(bumped)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(w.Path(), path); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Recover(path, Config{})
+	var sve *SchemaVersionError
+	if !errors.As(err, &sve) {
+		t.Fatalf("error = %v, want *SchemaVersionError", err)
+	}
+	if sve.Version != 99 {
+		t.Fatalf("SchemaVersionError.Version = %d, want 99", sve.Version)
+	}
+}
+
+// A tampered periodic state digest (replay divergence) is a typed
+// *ReplayError — the journal's own framing is intact, so this is the chained
+// verification layer catching it.
+func TestRecoverTamperedDigestIsReplayError(t *testing.T) {
+	svc, path := journaledService(t, 6, Config{DigestEvery: 2})
+	for k := 0; k < 6; k++ {
+		mustAdmit(t, svc, k)
+	}
+	svc.Close()
+
+	scan, err := journal.Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := journal.Open(filepath.Join(t.TempDir(), "tampered.wal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := false
+	for _, p := range scan.Payloads {
+		var rec opRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.StateDigest != "" && !tampered {
+			rec.StateDigest = "0123456789abcdef"
+			tampered = true
+			p, err = json.Marshal(&rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tampered {
+		t.Fatal("no periodic digest record found to tamper with")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(w.Path(), path); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Recover(path, Config{DigestEvery: 2})
+	var re *ReplayError
+	if !errors.As(err, &re) {
+		t.Fatalf("error = %v, want *ReplayError", err)
+	}
+	if !strings.Contains(re.Reason, "digest") {
+		t.Fatalf("ReplayError reason %q does not mention the digest", re.Reason)
+	}
+}
+
+// Compaction: after CompactEvery ops the journal folds into its sidecar
+// snapshot; recovery from the compacted pair is still bit-identical, and a
+// crash between the compaction snapshot and the truncate (simulated by
+// restoring the pre-truncate journal bytes) replays with stale records
+// skipped, not double-applied.
+func TestCompactionAndStaleSeqSkip(t *testing.T) {
+	svc, path := journaledService(t, 8, Config{CompactEvery: 5})
+	var preCompact []byte
+	for k := 0; k < 8; k++ {
+		mustAdmit(t, svc, k)
+		if k == 3 { // 4 ops + header appended, compaction (at 5) not yet run
+			var err error
+			if preCompact, err = os.ReadFile(path); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := stateOf(t, svc)
+	svc.Close()
+
+	// Normal compacted recovery.
+	rec, rep, err := Recover(path, Config{CompactEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stateOf(t, rec); got.Digest != want.Digest || got.Seq != want.Seq {
+		t.Fatalf("compacted recovery: seq %d digest %s, want seq %d digest %s",
+			got.Seq, got.Digest, want.Seq, want.Digest)
+	}
+	if rep.SnapshotSeq != 5 {
+		t.Fatalf("report = %+v, want compaction snapshot at seq 5", rep)
+	}
+	rec.Close()
+
+	// Crash-between-snapshot-and-truncate: sidecar is at seq 5, but the
+	// journal still holds records 1..4 (pre-compaction bytes). They must be
+	// skipped as already folded in.
+	if err := os.WriteFile(path, preCompact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec2, rep2, err := Recover(path, Config{CompactEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	if rep2.Skipped != 4 || rep2.Replayed != 0 {
+		t.Fatalf("report = %+v, want 4 skipped and 0 replayed", rep2)
+	}
+	if got := stateOf(t, rec2); got.Seq != 5 {
+		t.Fatalf("recovered seq %d, want snapshot seq 5", got.Seq)
+	}
+	// Strings 0..4 are admitted in the snapshot; skipping must not have
+	// un-admitted or double-admitted anything.
+	if _, err := rec2.Admit(3); err == nil {
+		t.Fatal("string 3 not admitted after stale-seq skip recovery")
+	}
+	if d, err := rec2.Admit(5); err != nil || !d.Accepted {
+		t.Fatalf("admit 5 after skip recovery: %+v, %v", d, err)
+	}
+}
+
+// New with a journal path refuses to start over a non-empty journal: that
+// history belongs to Recover.
+func TestNewRefusesExistingJournal(t *testing.T) {
+	svc, path := journaledService(t, 4, Config{})
+	mustAdmit(t, svc, 0)
+	svc.Close()
+
+	_, err := New(Config{System: testSystem(4), Journal: path})
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("New over existing journal: %v, want refusal", err)
+	}
+}
+
+// A failed append breaks the journal: the mutation errors, later mutations
+// fail fast with CodeInternal, reads keep serving, healthz goes 500 and
+// readyz 503.
+func TestBrokenJournalFailsFastAndReportsHealth(t *testing.T) {
+	svc, _ := journaledService(t, 6, Config{})
+	mustAdmit(t, svc, 0)
+	// Force an append failure: a payload over MaxRecordBytes cannot be
+	// framed, so the journal layer rejects it after the op already applied —
+	// the indeterminate-op case the broken flag exists for.
+	if err := svc.exec(func(st *state) {
+		payload := json.RawMessage(fmt.Sprintf(`{"stringId":1,"pad":%q}`,
+			strings.Repeat("x", int(journal.MaxRecordBytes))))
+		_, e := st.mutateOp(opAdmit, payload)
+		if e == nil {
+			t.Error("oversized journaled op did not error")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Admit(2); err == nil {
+		t.Fatal("mutation after broken journal succeeded")
+	} else {
+		var env *ErrorEnvelope
+		if !errors.As(err, &env) || env.Err.Code != CodeInternal {
+			t.Fatalf("error = %v, want %s envelope", err, CodeInternal)
+		}
+	}
+	if _, err := svc.State(); err != nil {
+		t.Fatalf("read after broken journal: %v", err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	if resp, err := srv.Client().Get(srv.URL + "/v1/healthz"); err != nil || resp.StatusCode != 500 {
+		t.Fatalf("healthz on broken journal: %v, %v", resp.StatusCode, err)
+	}
+	if resp, err := srv.Client().Get(srv.URL + "/v1/readyz"); err != nil || resp.StatusCode != 503 {
+		t.Fatalf("readyz on broken journal: %v, %v", resp.StatusCode, err)
+	}
+}
+
+// Satellite: healthz/readyz across the lifecycle — ready, then draining
+// (503 CodeUnavailable with the phase in the envelope), with liveness green
+// throughout.
+func TestHealthzReadyzLifecycle(t *testing.T) {
+	svc := newTestService(t, 4, Config{})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	getJSON := func(path string, wantStatus int) map[string]any {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s status = %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	h := getJSON("/v1/healthz", 200)
+	if h["status"] != "ok" || h["phase"] != "ready" {
+		t.Fatalf("healthz = %v", h)
+	}
+	r := getJSON("/v1/readyz", 200)
+	if r["status"] != "ready" {
+		t.Fatalf("readyz = %v", r)
+	}
+
+	svc.BeginDrain()
+	h = getJSON("/v1/healthz", 200) // draining is alive
+	if h["phase"] != "draining" {
+		t.Fatalf("healthz while draining = %v", h)
+	}
+	r = getJSON("/v1/readyz", 503)
+	errBody, _ := r["error"].(map[string]any)
+	if errBody == nil || errBody["code"] != CodeUnavailable {
+		t.Fatalf("readyz while draining = %v, want %s envelope", r, CodeUnavailable)
+	}
+	// Draining only sheds readiness; operations still complete until Close.
+	if d, err := svc.Admit(0); err != nil || !d.Accepted {
+		t.Fatalf("admit while draining: %+v, %v", d, err)
+	}
+}
+
+// The pre-recovery handler: alive, not ready, no API surface.
+func TestRecoveringHandler(t *testing.T) {
+	srv := httptest.NewServer(RecoveringHandler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz while recovering: %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	for _, path := range []string{"/v1/readyz", "/v1/state"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 503 || env.Err.Code != CodeUnavailable {
+			t.Fatalf("GET %s while recovering: status %d, code %q", path, resp.StatusCode, env.Err.Code)
+		}
+	}
+}
+
+// Unjournaled daemons behave exactly as before: no journal file, no chain,
+// and the whole suite above rides on opt-in.
+func TestUnjournaledServiceWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	svc := newTestService(t, 4, Config{SnapshotPath: filepath.Join(dir, "snap.json")})
+	mustAdmit(t, svc, 0)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("unjournaled daemon wrote %v", entries)
+	}
+}

@@ -10,21 +10,24 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dynamic"
 	"repro/internal/faults"
 	"repro/internal/feasibility"
 	"repro/internal/heuristics"
+	"repro/internal/journal"
 	"repro/internal/lp"
 	"repro/internal/model"
 	"repro/internal/overload"
 	"repro/internal/report"
+	"repro/internal/rng"
 	"repro/internal/scenario"
-	"repro/internal/soak"
 	"repro/internal/telemetry"
 )
 
@@ -53,6 +56,27 @@ type Config struct {
 	EventBuffer int
 	// SnapshotPath is the default target of POST /v1/snapshot.
 	SnapshotPath string
+	// Seed keys the service RNG stream ("service" subsystem); the journal
+	// records the stream position per op so recovery resumes it exactly.
+	Seed int64
+	// Journal enables the write-ahead op journal at this path; every accepted
+	// mutation is appended (and, per Fsync, synced) before the reply.
+	Journal string
+	// Fsync is the journal durability policy: journal.FsyncAlways,
+	// FsyncBatch (default), or FsyncNone.
+	Fsync journal.FsyncPolicy
+	// CompactEvery folds the journal into its sidecar snapshot after this
+	// many appended records (default 4096; negative disables compaction).
+	CompactEvery int
+	// DigestEvery embeds a full feasibility.StateDigest into every Nth journal
+	// record (default 1024; negative disables periodic digests). Smaller values
+	// tighten replay verification at O(state) digest cost per embed; every
+	// record is covered by the O(1) chained check regardless.
+	DigestEvery int
+	// JournalCrashAfter is the crash-injection fault point (bytes of journal
+	// growth before the writer tears an append and crashes); 0 disables.
+	// Test-only: see journal.Options.CrashAfter.
+	JournalCrashAfter int64
 }
 
 // WithDefaults fills zero fields with usable defaults.
@@ -62,6 +86,15 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.SnapshotPath == "" {
 		c.SnapshotPath = "shipd-snapshot.json"
+	}
+	if c.Fsync == "" {
+		c.Fsync = journal.FsyncBatch
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 4096
+	}
+	if c.DigestEvery == 0 {
+		c.DigestEvery = 1024
 	}
 	c.Overload = c.Overload.WithDefaults()
 	c.Repair = c.Repair.WithDefaults()
@@ -87,6 +120,9 @@ func (c Config) Validate() error {
 	}
 	if c.EventBuffer < 0 {
 		errs = append(errs, fmt.Errorf("service: EventBuffer = %d, want >= 0", c.EventBuffer))
+	}
+	if _, err := journal.ParseFsyncPolicy(string(c.Fsync)); err != nil {
+		errs = append(errs, fmt.Errorf("service: %w", err))
 	}
 	return errors.Join(errs...)
 }
@@ -114,6 +150,17 @@ type state struct {
 	// previous simplex basis.
 	bound     *lp.Bound
 	boundWarm bool
+	// Write-ahead journal state (jw nil when journaling is off): the running
+	// chain check, the keyed service RNG stream whose position each record
+	// pins, compaction/digest cadence counters, the sticky append-failure
+	// error, and the hook mirroring it to the Service for health reporting.
+	jw           *journal.Writer
+	chain        string
+	rngs         *rng.Stream
+	sinceCompact int
+	sinceDigest  int
+	broken       error
+	onBroken     func(error)
 }
 
 // Service owns a live allocation and serializes all operations through one
@@ -124,6 +171,10 @@ type Service struct {
 	quit chan struct{}
 	done chan struct{}
 	once sync.Once
+	// phase drives GET /v1/readyz; journalErr holds the append failure that
+	// broke the journal (a string, set at most once) for GET /v1/healthz.
+	phase      atomic.Int32
+	journalErr atomic.Value
 }
 
 type request struct {
@@ -157,13 +208,23 @@ func New(cfg Config) (*Service, error) {
 	return startService(st)
 }
 
-// startService attaches the analyzer (the one startup rebase), solves the
-// initial LP bound, and launches the loop. Shared by New and Restore.
+// startService attaches the analyzer (the one startup rebase), bootstraps the
+// journal when configured, solves the initial LP bound, and launches the
+// loop. Shared by New, Restore, and Recover (which arrives with the analyzer
+// and journal writer already attached).
 func startService(st *state) (*Service, error) {
 	if st.da = st.alloc.Tracker(); st.da == nil {
 		st.da = feasibility.Track(st.alloc)
 	}
 	st.recount()
+	if st.rngs == nil {
+		st.rngs = rng.NewStream(rng.Key(st.cfg.Seed, "service", 0))
+	}
+	if st.cfg.Journal != "" && st.jw == nil {
+		if err := st.bootstrapJournal(); err != nil {
+			return nil, err
+		}
+	}
 	if st.cfg.LPBound {
 		st.solveBound()
 	}
@@ -173,6 +234,8 @@ func startService(st *state) (*Service, error) {
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	s.phase.Store(int32(PhaseReady))
+	st.onBroken = func(err error) { s.journalErr.Store(err.Error()) }
 	go s.loop()
 	return s, nil
 }
@@ -187,6 +250,13 @@ func unitScales(n int) []float64 {
 
 func (s *Service) loop() {
 	defer close(s.done)
+	// The loop goroutine owns the journal writer; close (flushing any batched
+	// fsync) once no further op can run.
+	defer func() {
+		if s.st.jw != nil {
+			s.st.jw.Close()
+		}
+	}()
 	for {
 		select {
 		case <-s.quit:
@@ -198,10 +268,32 @@ func (s *Service) loop() {
 	}
 }
 
+// Phase reports the lifecycle phase (ready/draining) for readiness checks.
+func (s *Service) Phase() Phase { return Phase(s.phase.Load()) }
+
+// BeginDrain marks the service draining: GET /v1/readyz starts failing so
+// load balancers take the daemon out of rotation, while in-flight and new
+// operations keep completing until Close. Safe to call more than once.
+func (s *Service) BeginDrain() {
+	s.phase.CompareAndSwap(int32(PhaseReady), int32(PhaseDraining))
+}
+
+// JournalBroken reports the sticky journal append failure, if any.
+func (s *Service) JournalBroken() (string, bool) {
+	v := s.journalErr.Load()
+	if v == nil {
+		return "", false
+	}
+	return v.(string), true
+}
+
 // Close stops the state loop; pending and later calls fail with
 // CodeUnavailable. Safe to call more than once.
 func (s *Service) Close() {
-	s.once.Do(func() { close(s.quit) })
+	s.once.Do(func() {
+		s.phase.Store(int32(PhaseDraining))
+		close(s.quit)
+	})
 	<-s.done
 }
 
@@ -243,34 +335,55 @@ func (s *Service) run(op func(*state) (Decision, *ErrorEnvelope)) (Decision, err
 	return d, nil
 }
 
+// mutate marshals the op's wire payload once and runs it through the
+// journaled single-writer path: apply via the shared applyOp dispatch, append
+// to the write-ahead journal (when enabled), then reply. Replay uses the same
+// dispatch on the same payload bytes, which is the bit-identical-recovery
+// contract.
+func (s *Service) mutate(op string, payload any) (Decision, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return Decision{}, Errorf(CodeBadRequest, nil, "encode %s op: %v", op, err)
+	}
+	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.mutateOp(op, raw) })
+}
+
 // Admit maps string k onto the surviving resources and accepts the admission
 // iff the incremental two-stage analysis stays feasible.
 func (s *Service) Admit(k int) (Decision, error) {
-	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.admit(k) })
+	return s.mutate(opAdmit, AdmitRequest{StringID: k})
 }
 
 // Remove unmaps string k.
 func (s *Service) Remove(k int) (Decision, error) {
-	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.remove(k) })
+	return s.mutate(opRemove, RemoveRequest{StringID: k})
 }
 
 // Rescale multiplies string k's demand by factor and, if the string is
 // mapped, re-places it; a rescale that cannot be placed feasibly is rejected
 // and rolled back bit-identically.
 func (s *Service) Rescale(k int, factor float64) (Decision, error) {
-	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.rescale(k, factor) })
+	// NaN/Inf factors are rejected here because they cannot be journaled
+	// (JSON has no encoding for them); st.rescale re-checks for replay.
+	if math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return Decision{}, Errorf(CodeBadRequest, nil, "rescale factor = %v, want finite positive", factor)
+	}
+	return s.mutate(opRescale, RescaleRequest{StringID: k, Factor: factor})
 }
 
 // Faults applies resource outages/repairs and runs the fault-survival repair
 // on the live allocation.
 func (s *Service) Faults(req FaultsRequest) (Decision, error) {
-	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.applyFaults(req) })
+	return s.mutate(opFaults, req)
 }
 
 // Surge runs a demand-surge episode through the degradation controller and
 // adopts the resulting mapping.
 func (s *Service) Surge(sc *overload.Scenario) (Decision, error) {
-	return s.run(func(st *state) (Decision, *ErrorEnvelope) { return st.applySurge(sc) })
+	if sc == nil {
+		return Decision{}, Errorf(CodeBadRequest, nil, "surge scenario is empty")
+	}
+	return s.mutate(opSurge, sc)
 }
 
 // State returns the full observable daemon state.
@@ -676,7 +789,7 @@ func (st *state) stateResponse() StateResponse {
 		Worth:         m.Worth,
 		Slackness:     m.Slackness,
 		Feasible:      st.feasibleNow(),
-		Digest:        soak.AllocationDigest(st.alloc),
+		Digest:        feasibility.StateDigest(st.alloc),
 		MachinesDown:  st.down.MachinesDown(),
 		RoutesDown:    st.down.RoutesDown(),
 		FullAnalysis:  st.cfg.FullAnalysis,

@@ -3,28 +3,33 @@
 // allocation part rides on feasibility.AllocationSnapshot (exact IEEE-754 bit
 // patterns); the file additionally pins the system catalog (rescales mutate
 // it), the mapped set, cumulative scale factors, standing outages, the
-// sequence number, and the soak.AllocationDigest of the live allocation. On
-// restore the digest is recomputed and must match — a snapshot that cannot
-// reproduce the exact state is rejected rather than silently drifting.
+// sequence number, the journal chain/RNG positions, and the
+// feasibility.StateDigest of the live allocation. On restore the digest is
+// recomputed and must match — a snapshot that cannot reproduce the exact
+// state is rejected rather than silently drifting. Snapshot writes are atomic
+// (temp file in the target directory, fsync, rename), so a crash mid-write
+// never clobbers the previous snapshot — which is what lets journal
+// compaction treat the sidecar snapshot as its durable base.
 package service
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/faults"
 	"repro/internal/feasibility"
 	"repro/internal/model"
-	"repro/internal/soak"
+	"repro/internal/rng"
 )
 
-// SchemaVersionError reports a snapshot file whose schema version this daemon
-// cannot serve — typically a newer daemon's file fed to an older binary.
-// Callers match it with errors.As to distinguish a version skew (retriable
-// with the right binary) from a corrupt or inconsistent snapshot. The
-// allocation section has its own format version with the same contract; see
-// feasibility.SnapshotVersionError.
+// SchemaVersionError reports a snapshot file (or journal record) whose schema
+// version this daemon cannot serve — typically a newer daemon's file fed to
+// an older binary. Callers match it with errors.As to distinguish a version
+// skew (retriable with the right binary) from a corrupt or inconsistent
+// snapshot. The allocation section has its own format version with the same
+// contract; see feasibility.SnapshotVersionError.
 type SchemaVersionError struct {
 	Version   int // schema version recorded in the file
 	Supported int // newest schema version this daemon serves
@@ -50,9 +55,49 @@ type SnapshotFile struct {
 	Down []faults.Resource `json:"down,omitempty"`
 	// Seq is the decision sequence number at snapshot time.
 	Seq uint64 `json:"seq"`
-	// Digest is the soak.AllocationDigest of the allocation at snapshot
+	// Digest is the feasibility.StateDigest of the allocation at snapshot
 	// time; restore verifies the restored allocation reproduces it.
 	Digest string `json:"digest"`
+	// Chain is the running journal chain-check value at snapshot time (empty
+	// when journaling is off); RNGCalls pins the service RNG stream position.
+	// Both are zero in snapshots from non-journaling daemons.
+	Chain    string `json:"chain,omitempty"`
+	RNGCalls uint64 `json:"rngCalls,omitempty"`
+}
+
+// writeFileAtomic writes data to path via a temp file in the same directory,
+// fsync, and rename, so concurrent readers and crashes see either the old
+// complete file or the new complete file, never a torn one.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Best effort: make the rename itself durable against power loss.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
 }
 
 // snapshotTo writes the current state to path. Runs on the state loop.
@@ -68,13 +113,17 @@ func (st *state) snapshotTo(path string) (SnapshotResponse, *ErrorEnvelope) {
 		Scale:         st.scale,
 		Down:          st.down.Resources(),
 		Seq:           st.seq,
-		Digest:        soak.AllocationDigest(st.alloc),
+		Digest:        feasibility.StateDigest(st.alloc),
+		Chain:         st.chain,
+	}
+	if st.rngs != nil {
+		file.RNGCalls = st.rngs.Calls()
 	}
 	data, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {
 		return SnapshotResponse{}, Errorf(CodeInternal, nil, "marshal snapshot: %v", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileAtomic(path, append(data, '\n')); err != nil {
 		return SnapshotResponse{}, Errorf(CodeInternal, nil, "write snapshot: %v", err)
 	}
 	return SnapshotResponse{
@@ -99,11 +148,8 @@ func (s *Service) Snapshot(path string) (SnapshotResponse, error) {
 	return resp, nil
 }
 
-// Restore builds a Service from a snapshot file. The cfg.System field is
-// ignored — the snapshot carries its own catalog — while the serving knobs
-// (overload, repair, LP bound, fallback mode) come from cfg. The restored
-// allocation must reproduce the digest recorded in the file.
-func Restore(path string, cfg Config) (*Service, error) {
+// loadSnapshotFile reads and version-checks a snapshot file.
+func loadSnapshotFile(path string) (*SnapshotFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("service: read snapshot: %w", err)
@@ -116,6 +162,14 @@ func Restore(path string, cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: snapshot %s: %w",
 			path, &SchemaVersionError{Version: file.SchemaVersion, Supported: SchemaVersion})
 	}
+	return &file, nil
+}
+
+// stateFromSnapshot validates a loaded snapshot and rebuilds the daemon
+// state, verifying that the restored allocation reproduces the recorded
+// digest. Shared by Restore (which starts serving immediately) and Recover
+// (which replays the journal tail on the state first).
+func stateFromSnapshot(path string, file *SnapshotFile, cfg Config) (*state, error) {
 	if file.System == nil || file.Alloc == nil {
 		return nil, fmt.Errorf("service: snapshot %s is missing the system or allocation section", path)
 	}
@@ -131,7 +185,7 @@ func Restore(path string, cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: snapshot %s: %w", path, err)
 	}
-	if got := soak.AllocationDigest(alloc); got != file.Digest {
+	if got := feasibility.StateDigest(alloc); got != file.Digest {
 		return nil, fmt.Errorf("service: snapshot %s: restored digest %s does not match recorded %s",
 			path, got, file.Digest)
 	}
@@ -163,7 +217,7 @@ func Restore(path string, cfg Config) (*Service, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	st := &state{
+	return &state{
 		cfg:    cfg,
 		sys:    file.System,
 		alloc:  alloc,
@@ -172,6 +226,26 @@ func Restore(path string, cfg Config) (*Service, error) {
 		down:   down,
 		seq:    file.Seq,
 		events: newEventLog(cfg.EventBuffer),
+		rngs:   rng.NewStream(rng.Key(cfg.Seed, "service", 0)),
+	}, nil
+}
+
+// Restore builds a Service from a snapshot file. The cfg.System field is
+// ignored — the snapshot carries its own catalog — while the serving knobs
+// (overload, repair, LP bound, fallback mode) come from cfg. The restored
+// allocation must reproduce the digest recorded in the file.
+func Restore(path string, cfg Config) (*Service, error) {
+	file, err := loadSnapshotFile(path)
+	if err != nil {
+		return nil, err
 	}
+	st, err := stateFromSnapshot(path, file, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Resume the journal bookkeeping positions recorded by a journaling
+	// daemon; both are zero values for snapshots written without a journal.
+	st.chain = file.Chain
+	st.rngs.Skip(file.RNGCalls)
 	return startService(st)
 }

@@ -24,13 +24,11 @@ const deltaRounds = 12
 // AllocationDigest fingerprints an allocation's complete observable state —
 // per-string assignments and cached tightness, per-machine and per-route
 // utilizations and rosters — via feasibility's canonical WriteState encoding.
-// Two allocations share a digest exactly when they are bit-identical.
+// Two allocations share a digest exactly when they are bit-identical. It is a
+// byte-compatible alias of feasibility.StateDigest, which owns the encoding
+// so the service and journal layers can use it without importing soak.
 func AllocationDigest(a *feasibility.Allocation) string {
-	d := newDigest()
-	var buf bytes.Buffer
-	a.WriteState(&buf)
-	d.add(buf.String())
-	return d.sum()
+	return feasibility.StateDigest(a)
 }
 
 // deltaStage exercises the delta analyzer over a clone of the search

@@ -70,6 +70,9 @@ type Config struct {
 	MaxFactor float64
 	// Periods is the number of data sets per string in the replay.
 	Periods int
+	// JournalOps is the length of the keyed op sequence the journal stage
+	// drives through a journaled service before recovering it.
+	JournalOps int
 }
 
 // WithDefaults returns a copy with every zero-valued field replaced by the
@@ -116,6 +119,9 @@ func (c Config) WithDefaults() Config {
 	if c.Periods == 0 {
 		c.Periods = 4
 	}
+	if c.JournalOps == 0 {
+		c.JournalOps = 24
+	}
 	return c
 }
 
@@ -145,6 +151,9 @@ func (c Config) Validate() error {
 	if c.Periods < 1 {
 		return fmt.Errorf("soak: %d periods, want >= 1", c.Periods)
 	}
+	if c.JournalOps < 1 {
+		return fmt.Errorf("soak: %d journal ops, want >= 1", c.JournalOps)
+	}
 	return nil
 }
 
@@ -163,6 +172,7 @@ type Result struct {
 	SurgeDigest   string // sampled surge scenario (stream output only)
 	ControlDigest string // failover + degradation outcomes (composes the above)
 	SimDigest     string // discrete-event replay under faults + surge
+	JournalDigest string // journaled service episode + bit-identical recovery
 
 	Fingerprint string
 
@@ -357,8 +367,16 @@ func RunContext(ctx context.Context, cfg Config, seed int64) (*Result, error) {
 	out.QoSViolations = res.QoSViolations
 	out.Unfinished = res.Unfinished
 
+	// Stage 7: journaled service episode, drawing from the journal subsystem
+	// stream. The stage recovers a write-ahead journaled daemon and errors the
+	// run outright unless the recovered state is bit-identical to the live one.
+	out.JournalDigest, err = journalStage(sys, cfg.JournalOps, seed)
+	if err != nil {
+		return nil, err
+	}
+
 	f := newDigest()
-	f.add(out.SystemDigest, out.AllocDigest, out.DeltaDigest, out.FaultsDigest, out.SurgeDigest, out.ControlDigest, out.SimDigest)
+	f.add(out.SystemDigest, out.AllocDigest, out.DeltaDigest, out.FaultsDigest, out.SurgeDigest, out.ControlDigest, out.SimDigest, out.JournalDigest)
 	out.Fingerprint = f.sum()
 	return out, nil
 }
@@ -373,6 +391,7 @@ func (r *Result) Stages() []struct{ Name, Digest string } {
 		{"surge", r.SurgeDigest},
 		{"control", r.ControlDigest},
 		{"sim", r.SimDigest},
+		{"journal", r.JournalDigest},
 	}
 }
 

@@ -111,6 +111,13 @@ func isolationArms() []IsolationArm {
 			Changed:    nil, // a longer search may or may not find a different mapping
 			Downstream: []string{"alloc", "delta", "control", "sim"},
 		},
+		{
+			Name:    "journal",
+			Mutate:  func(c *Config) { c.JournalOps += 8 },
+			Changed: []string{"journal"},
+			// The journal stage consumes only the generated system and its own
+			// stream; no other stage may move when it draws more ops.
+		},
 	}
 }
 
